@@ -1,0 +1,153 @@
+//! PARSEC-style Black-Scholes option pricing — the paper's Fig. 13a workload
+//! ("a highly parallel solver ... generates many independent tasks with
+//! comparable runtime"). Closed-form European option pricing over a portfolio
+//! of options; trivially partitionable, which is what makes it the ideal
+//! rFaaS offload demonstrator.
+
+use crate::Lcg;
+
+/// One option contract.
+#[derive(Debug, Clone, Copy)]
+pub struct OptionData {
+    pub spot: f64,
+    pub strike: f64,
+    pub rate: f64,
+    pub volatility: f64,
+    pub time: f64,
+    pub is_call: bool,
+}
+
+/// Cumulative normal distribution (Abramowitz–Stegun 7.1.26-style
+/// approximation, the same one PARSEC uses).
+pub fn cnd(x: f64) -> f64 {
+    let l = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * l);
+    let poly = k
+        * (0.319381530
+            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    let w = 1.0 - 1.0 / (2.0 * std::f64::consts::PI).sqrt() * (-l * l / 2.0).exp() * poly;
+    if x < 0.0 {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+/// Black-Scholes price of one option.
+pub fn price(o: &OptionData) -> f64 {
+    let sqrt_t = o.time.sqrt();
+    let d1 = ((o.spot / o.strike).ln() + (o.rate + o.volatility * o.volatility / 2.0) * o.time)
+        / (o.volatility * sqrt_t);
+    let d2 = d1 - o.volatility * sqrt_t;
+    let discount = (-o.rate * o.time).exp();
+    if o.is_call {
+        o.spot * cnd(d1) - o.strike * discount * cnd(d2)
+    } else {
+        o.strike * discount * cnd(-d2) - o.spot * cnd(-d1)
+    }
+}
+
+/// Generate a deterministic portfolio of `n` options.
+pub fn portfolio(n: usize, seed: u64) -> Vec<OptionData> {
+    let mut rng = Lcg::new(seed);
+    (0..n)
+        .map(|_| OptionData {
+            spot: 20.0 + rng.next_f64() * 80.0,
+            strike: 20.0 + rng.next_f64() * 80.0,
+            rate: 0.01 + rng.next_f64() * 0.05,
+            volatility: 0.1 + rng.next_f64() * 0.5,
+            time: 0.25 + rng.next_f64() * 1.75,
+            is_call: rng.next_u64() % 2 == 0,
+        })
+        .collect()
+}
+
+/// Price a slice of the portfolio `repetitions` times (the PARSEC benchmark
+/// loops the pricing to get measurable runtimes; the paper uses 100
+/// repetitions). Returns the sum of prices of the last repetition.
+pub fn price_chunk(options: &[OptionData], repetitions: usize) -> f64 {
+    let mut sum = 0.0;
+    for _ in 0..repetitions.max(1) {
+        sum = options.iter().map(price).sum();
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(spot: f64, strike: f64) -> OptionData {
+        OptionData {
+            spot,
+            strike,
+            rate: 0.05,
+            volatility: 0.2,
+            time: 1.0,
+            is_call: true,
+        }
+    }
+
+    #[test]
+    fn cnd_is_a_cdf() {
+        assert!((cnd(0.0) - 0.5).abs() < 1e-7);
+        assert!(cnd(-8.0) < 1e-6);
+        assert!(cnd(8.0) > 1.0 - 1e-6);
+        let mut prev = 0.0;
+        for i in -40..=40 {
+            let v = cnd(i as f64 / 10.0);
+            assert!(v >= prev - 1e-12, "monotone at {i}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn known_value_matches_literature() {
+        // S=100, K=100, r=5%, σ=20%, T=1y → call ≈ 10.4506.
+        let p = price(&call(100.0, 100.0));
+        assert!((p - 10.4506).abs() < 0.01, "p={p}");
+    }
+
+    #[test]
+    fn put_call_parity() {
+        let c = call(100.0, 95.0);
+        let p = OptionData {
+            is_call: false,
+            ..c
+        };
+        let lhs = price(&c) - price(&p);
+        let rhs = c.spot - c.strike * (-c.rate * c.time).exp();
+        assert!((lhs - rhs).abs() < 1e-4, "parity violated: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn deep_in_the_money_call_near_intrinsic() {
+        let p = price(&call(200.0, 50.0));
+        let intrinsic = 200.0 - 50.0 * (-0.05f64).exp();
+        assert!((p - intrinsic).abs() < 0.5, "p={p} intrinsic={intrinsic}");
+    }
+
+    #[test]
+    fn chunked_pricing_equals_whole() {
+        let opts = portfolio(1000, 11);
+        let whole = price_chunk(&opts, 1);
+        let split: f64 = opts.chunks(137).map(|c| price_chunk(c, 1)).sum();
+        assert!((whole - split).abs() < 1e-9);
+    }
+
+    #[test]
+    fn portfolio_deterministic() {
+        let a = portfolio(100, 5);
+        let b = portfolio(100, 5);
+        assert_eq!(a.len(), b.len());
+        assert!((price_chunk(&a, 1) - price_chunk(&b, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prices_are_nonnegative() {
+        for o in portfolio(5000, 3) {
+            let p = price(&o);
+            assert!(p >= -1e-9, "negative option price: {p} for {o:?}");
+        }
+    }
+}

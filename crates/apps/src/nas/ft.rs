@@ -1,0 +1,210 @@
+//! FT — 3-D FFT kernel: forward transform, pointwise evolution, inverse
+//! transform. Radix-2 Cooley–Tukey along each dimension; all-to-all-heavy in
+//! the distributed original, bandwidth-heavy here.
+
+use super::{NasClass, NasResult};
+use crate::Lcg;
+
+/// In-place radix-2 decimation-in-time FFT. `inverse` flips the sign and
+/// applies 1/n scaling.
+pub fn fft_1d(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert!(n.is_power_of_two(), "radix-2 FFT needs a power of two");
+    assert_eq!(im.len(), n);
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ar, ai) = (re[i + k], im[i + k]);
+                let (br, bi) = (re[i + k + len / 2], im[i + k + len / 2]);
+                let (tr, ti) = (br * cr - bi * ci, br * ci + bi * cr);
+                re[i + k] = ar + tr;
+                im[i + k] = ai + ti;
+                re[i + k + len / 2] = ar - tr;
+                im[i + k + len / 2] = ai - ti;
+                let (ncr, nci) = (cr * wr - ci * wi, cr * wi + ci * wr);
+                cr = ncr;
+                ci = nci;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for v in re.iter_mut() {
+            *v *= inv;
+        }
+        for v in im.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// 3-D FFT over an n³ cube stored row-major, applied dimension by dimension.
+pub fn fft_3d(re: &mut [f64], im: &mut [f64], n: usize, inverse: bool) {
+    assert_eq!(re.len(), n * n * n);
+    let mut bre = vec![0.0; n];
+    let mut bim = vec![0.0; n];
+    // Dim 2 (contiguous).
+    for plane in 0..n * n {
+        let off = plane * n;
+        fft_1d(&mut re[off..off + n], &mut im[off..off + n], inverse);
+    }
+    // Dim 1.
+    for i in 0..n {
+        for k in 0..n {
+            for j in 0..n {
+                bre[j] = re[(i * n + j) * n + k];
+                bim[j] = im[(i * n + j) * n + k];
+            }
+            fft_1d(&mut bre, &mut bim, inverse);
+            for j in 0..n {
+                re[(i * n + j) * n + k] = bre[j];
+                im[(i * n + j) * n + k] = bim[j];
+            }
+        }
+    }
+    // Dim 0.
+    for j in 0..n {
+        for k in 0..n {
+            for i in 0..n {
+                bre[i] = re[(i * n + j) * n + k];
+                bim[i] = im[(i * n + j) * n + k];
+            }
+            fft_1d(&mut bre, &mut bim, inverse);
+            for i in 0..n {
+                re[(i * n + j) * n + k] = bre[i];
+                im[(i * n + j) * n + k] = bim[i];
+            }
+        }
+    }
+}
+
+pub fn run(class: NasClass, seed: u64) -> NasResult {
+    let n = 8 * class.scale(); // must stay a power of two
+    let total = n * n * n;
+    let mut rng = Lcg::new(seed);
+    let mut re: Vec<f64> = (0..total).map(|_| rng.next_f64() - 0.5).collect();
+    let mut im: Vec<f64> = (0..total).map(|_| rng.next_f64() - 0.5).collect();
+    let steps = 3;
+    let mut checksum = 0.0;
+    fft_3d(&mut re, &mut im, n, false);
+    for t in 1..=steps {
+        // Evolve in frequency space (the FT kernel's exponential damping).
+        let decay = (-(t as f64) * 1e-4).exp();
+        for v in re.iter_mut() {
+            *v *= decay;
+        }
+        for v in im.iter_mut() {
+            *v *= decay;
+        }
+        let mut cre = re.clone();
+        let mut cim = im.clone();
+        fft_3d(&mut cre, &mut cim, n, true);
+        checksum += cre.iter().take(1024).sum::<f64>() + cim.iter().take(1024).sum::<f64>();
+    }
+    let nf = total as f64;
+    let logn = (n as f64).log2();
+    NasResult {
+        checksum,
+        flops: 5.0 * nf * 3.0 * logn * (steps + 1) as f64,
+        bytes: nf * 16.0 * 3.0 * (steps + 1) as f64 * 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_roundtrip_identity() {
+        let mut rng = Lcg::new(4);
+        let n = 64;
+        let orig_re: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let orig_im: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let mut re = orig_re.clone();
+        let mut im = orig_im.clone();
+        fft_1d(&mut re, &mut im, false);
+        fft_1d(&mut re, &mut im, true);
+        for i in 0..n {
+            assert!((re[i] - orig_re[i]).abs() < 1e-10);
+            assert!((im[i] - orig_im[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let n = 32;
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        re[0] = 1.0;
+        fft_1d(&mut re, &mut im, false);
+        for i in 0..n {
+            assert!((re[i] - 1.0).abs() < 1e-12);
+            assert!(im[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_parseval() {
+        let mut rng = Lcg::new(8);
+        let n = 128;
+        let re0: Vec<f64> = (0..n).map(|_| rng.next_f64() - 0.5).collect();
+        let im0 = vec![0.0; n];
+        let energy_t: f64 = re0.iter().map(|x| x * x).sum();
+        let mut re = re0;
+        let mut im = im0;
+        fft_1d(&mut re, &mut im, false);
+        let energy_f: f64 = re
+            .iter()
+            .zip(&im)
+            .map(|(r, i)| r * r + i * i)
+            .sum::<f64>()
+            / n as f64;
+        assert!((energy_t - energy_f).abs() / energy_t < 1e-10);
+    }
+
+    #[test]
+    fn fft_3d_roundtrip() {
+        let mut rng = Lcg::new(2);
+        let n = 8;
+        let orig: Vec<f64> = (0..n * n * n).map(|_| rng.next_f64()).collect();
+        let mut re = orig.clone();
+        let mut im = vec![0.0; n * n * n];
+        fft_3d(&mut re, &mut im, n, false);
+        fft_3d(&mut re, &mut im, n, true);
+        for i in 0..n * n * n {
+            assert!((re[i] - orig[i]).abs() < 1e-9);
+            assert!(im[i].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut re = vec![0.0; 12];
+        let mut im = vec![0.0; 12];
+        fft_1d(&mut re, &mut im, false);
+    }
+}

@@ -1,0 +1,156 @@
+//! LU — SSOR-style pipelined sweeps on a 3-D grid, the lower/upper
+//! triangular solves at the heart of the original LU benchmark. Wavefront
+//! dependencies limit vectorisation; moderate cache reuse.
+
+use super::{NasClass, NasResult};
+use crate::Lcg;
+
+/// 3-D field with lexicographic layout (no ghosts).
+pub struct Field3 {
+    pub n: usize,
+    pub data: Vec<f64>,
+}
+
+impl Field3 {
+    pub fn new(n: usize, init: impl FnMut() -> f64) -> Self {
+        let mut f = init;
+        Field3 {
+            n,
+            data: (0..n * n * n).map(|_| f()).collect(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.n + j) * self.n + k
+    }
+}
+
+/// Forward (lower-triangular) SSOR sweep: `u[i,j,k]` updated from already-swept
+/// lower neighbours — the wavefront dependency pattern of LU.
+pub fn lower_sweep(u: &mut Field3, rhs: &Field3, omega: f64) {
+    let n = u.n;
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let mut acc = rhs.data[rhs.idx(i, j, k)];
+                if i > 0 {
+                    acc += 0.25 * u.data[u.idx(i - 1, j, k)];
+                }
+                if j > 0 {
+                    acc += 0.25 * u.data[u.idx(i, j - 1, k)];
+                }
+                if k > 0 {
+                    acc += 0.25 * u.data[u.idx(i, j, k - 1)];
+                }
+                let idx = u.idx(i, j, k);
+                u.data[idx] = (1.0 - omega) * u.data[idx] + omega * acc / 1.75;
+            }
+        }
+    }
+}
+
+/// Backward (upper-triangular) sweep.
+pub fn upper_sweep(u: &mut Field3, rhs: &Field3, omega: f64) {
+    let n = u.n;
+    for i in (0..n).rev() {
+        for j in (0..n).rev() {
+            for k in (0..n).rev() {
+                let mut acc = rhs.data[rhs.idx(i, j, k)];
+                if i + 1 < n {
+                    acc += 0.25 * u.data[u.idx(i + 1, j, k)];
+                }
+                if j + 1 < n {
+                    acc += 0.25 * u.data[u.idx(i, j + 1, k)];
+                }
+                if k + 1 < n {
+                    acc += 0.25 * u.data[u.idx(i, j, k + 1)];
+                }
+                let idx = u.idx(i, j, k);
+                u.data[idx] = (1.0 - omega) * u.data[idx] + omega * acc / 1.75;
+            }
+        }
+    }
+}
+
+/// Max-norm change between sweeps — used as the convergence signal.
+pub fn max_abs(u: &Field3) -> f64 {
+    u.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+pub fn run(class: NasClass, seed: u64) -> NasResult {
+    let n = 24 * class.scale();
+    let mut rng = Lcg::new(seed);
+    let rhs = Field3::new(n, || rng.next_f64() - 0.5);
+    let mut u = Field3::new(n, || 0.0);
+    let sweeps = 10;
+    for _ in 0..sweeps {
+        lower_sweep(&mut u, &rhs, 1.2);
+        upper_sweep(&mut u, &rhs, 1.2);
+    }
+    let points = (n * n * n) as f64;
+    NasResult {
+        checksum: u.data.iter().sum::<f64>() + max_abs(&u),
+        flops: points * 10.0 * 2.0 * sweeps as f64,
+        bytes: points * 8.0 * 5.0 * 2.0 * sweeps as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_converge_to_fixed_point() {
+        let n = 16;
+        let mut rng = Lcg::new(2);
+        let rhs = Field3::new(n, || rng.next_f64() - 0.5);
+        let mut u = Field3::new(n, || 0.0);
+        let mut prev = u.data.clone();
+        let mut deltas = Vec::new();
+        for _ in 0..12 {
+            lower_sweep(&mut u, &rhs, 1.2);
+            upper_sweep(&mut u, &rhs, 1.2);
+            let delta: f64 = u
+                .data
+                .iter()
+                .zip(&prev)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            deltas.push(delta);
+            prev = u.data.clone();
+        }
+        assert!(
+            deltas.last().unwrap() < &(deltas[0] * 0.1),
+            "deltas={deltas:?}"
+        );
+    }
+
+    #[test]
+    fn zero_rhs_keeps_zero_solution() {
+        let n = 8;
+        let rhs = Field3::new(n, || 0.0);
+        let mut u = Field3::new(n, || 0.0);
+        lower_sweep(&mut u, &rhs, 1.2);
+        upper_sweep(&mut u, &rhs, 1.2);
+        assert_eq!(max_abs(&u), 0.0);
+    }
+
+    #[test]
+    fn forward_and_backward_differ() {
+        let n = 8;
+        let mut rng = Lcg::new(4);
+        let rhs = Field3::new(n, || rng.next_f64());
+        let mut fwd = Field3::new(n, || 0.0);
+        let mut bwd = Field3::new(n, || 0.0);
+        lower_sweep(&mut fwd, &rhs, 1.0);
+        upper_sweep(&mut bwd, &rhs, 1.0);
+        let diff: f64 = fwd
+            .data
+            .iter()
+            .zip(&bwd.data)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "sweep directions must differ");
+    }
+}

@@ -1,0 +1,254 @@
+//! MG — Multigrid V-cycles on a 3-D Poisson problem. Bandwidth-bound sweeps
+//! over a hierarchy of grids.
+
+use super::{NasClass, NasResult};
+use crate::Lcg;
+
+/// Dense 3-D grid with (n+2)^3 points (one ghost layer).
+#[derive(Clone)]
+pub struct Grid3 {
+    pub n: usize,
+    pub data: Vec<f64>,
+}
+
+impl Grid3 {
+    pub fn zeros(n: usize) -> Self {
+        Grid3 {
+            n,
+            data: vec![0.0; (n + 2) * (n + 2) * (n + 2)],
+        }
+    }
+
+    #[inline]
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        let s = self.n + 2;
+        (i * s + j) * s + k
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, k: usize, v: f64) {
+        let idx = self.idx(i, j, k);
+        self.data[idx] = v;
+    }
+
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+}
+
+/// Damped Jacobi smoothing (ω = 0.8) for -∇²u = f (h = 1/(n+1)).
+/// Damping is essential: undamped Jacobi barely attenuates the oscillatory
+/// modes multigrid relies on the smoother to kill.
+fn smooth(u: &mut Grid3, f: &Grid3, sweeps: usize) {
+    const OMEGA: f64 = 0.8;
+    let n = u.n;
+    let h2 = 1.0 / ((n + 1) * (n + 1)) as f64;
+    let mut next = u.clone();
+    for _ in 0..sweeps {
+        for i in 1..=n {
+            for j in 1..=n {
+                for k in 1..=n {
+                    let jac = (u.at(i - 1, j, k)
+                        + u.at(i + 1, j, k)
+                        + u.at(i, j - 1, k)
+                        + u.at(i, j + 1, k)
+                        + u.at(i, j, k - 1)
+                        + u.at(i, j, k + 1)
+                        + h2 * f.at(i, j, k))
+                        / 6.0;
+                    next.set(i, j, k, (1.0 - OMEGA) * u.at(i, j, k) + OMEGA * jac);
+                }
+            }
+        }
+        std::mem::swap(&mut u.data, &mut next.data);
+    }
+}
+
+/// Residual r = f + ∇²u.
+fn residual(u: &Grid3, f: &Grid3) -> Grid3 {
+    let n = u.n;
+    let inv_h2 = ((n + 1) * (n + 1)) as f64;
+    let mut r = Grid3::zeros(n);
+    for i in 1..=n {
+        for j in 1..=n {
+            for k in 1..=n {
+                let lap = (u.at(i - 1, j, k)
+                    + u.at(i + 1, j, k)
+                    + u.at(i, j - 1, k)
+                    + u.at(i, j + 1, k)
+                    + u.at(i, j, k - 1)
+                    + u.at(i, j, k + 1)
+                    - 6.0 * u.at(i, j, k))
+                    * inv_h2;
+                r.set(i, j, k, f.at(i, j, k) + lap);
+            }
+        }
+    }
+    r
+}
+
+/// 27-point full-weighting restriction to the n/2 grid: tensor-product
+/// weights (1/4, 1/2, 1/4) per dimension. Injection aliases the random
+/// high-frequency residuals this kernel produces.
+fn restrict(fine: &Grid3) -> Grid3 {
+    let nc = fine.n / 2;
+    let mut coarse = Grid3::zeros(nc);
+    let w1 = [0.25, 0.5, 0.25];
+    for i in 1..=nc {
+        for j in 1..=nc {
+            for k in 1..=nc {
+                let mut acc = 0.0;
+                for (di, wi) in (-1i64..=1).zip(w1) {
+                    for (dj, wj) in (-1i64..=1).zip(w1) {
+                        for (dk, wk) in (-1i64..=1).zip(w1) {
+                            let fi = (2 * i as i64 + di) as usize;
+                            let fj = (2 * j as i64 + dj) as usize;
+                            let fk = (2 * k as i64 + dk) as usize;
+                            acc += wi * wj * wk * fine.at(fi, fj, fk);
+                        }
+                    }
+                }
+                coarse.set(i, j, k, acc);
+            }
+        }
+    }
+    coarse
+}
+
+/// Trilinear prolongation, added into `fine`. Per dimension: even fine
+/// indices coincide with a coarse point; odd indices average the two
+/// enclosing coarse points.
+fn prolong_add(coarse: &Grid3, fine: &mut Grid3) {
+    let n = fine.n;
+    for i in 1..=n {
+        for j in 1..=n {
+            for k in 1..=n {
+                let mut v = 0.0;
+                let terms = |x: usize| -> [(usize, f64); 2] {
+                    if x % 2 == 0 {
+                        [(x / 2, 1.0), (0, 0.0)] // coarse ghost 0 is zero
+                    } else {
+                        [(x / 2, 0.5), (x / 2 + 1, 0.5)]
+                    }
+                };
+                for (ci, wi) in terms(i) {
+                    if wi == 0.0 {
+                        continue;
+                    }
+                    for (cj, wj) in terms(j) {
+                        if wj == 0.0 {
+                            continue;
+                        }
+                        for (ck, wk) in terms(k) {
+                            if wk == 0.0 {
+                                continue;
+                            }
+                            v += wi * wj * wk * coarse.at(ci, cj, ck);
+                        }
+                    }
+                }
+                let cur = fine.at(i, j, k);
+                fine.set(i, j, k, cur + v);
+            }
+        }
+    }
+}
+
+/// One V-cycle.
+fn v_cycle(u: &mut Grid3, f: &Grid3, depth: usize) {
+    smooth(u, f, 2);
+    if depth > 0 && u.n >= 4 {
+        let r = residual(u, f);
+        let rc = restrict(&r);
+        let mut ec = Grid3::zeros(rc.n);
+        v_cycle(&mut ec, &rc, depth - 1);
+        prolong_add(&ec, u);
+    }
+    smooth(u, f, 2);
+}
+
+pub fn run(class: NasClass, seed: u64) -> NasResult {
+    let n = 16 * class.scale(); // grid side (power of two)
+    let mut rng = Lcg::new(seed);
+    let mut f = Grid3::zeros(n);
+    for i in 1..=n {
+        for j in 1..=n {
+            for k in 1..=n {
+                f.set(i, j, k, rng.next_f64() - 0.5);
+            }
+        }
+    }
+    let mut u = Grid3::zeros(n);
+    let cycles = 4;
+    for _ in 0..cycles {
+        v_cycle(&mut u, &f, 3);
+    }
+    let r = residual(&u, &f);
+    let points = (n * n * n) as f64;
+    NasResult {
+        checksum: u.norm() + r.norm() * 1e-6,
+        flops: points * 8.0 * 4.0 * 2.0 * cycles as f64 * 1.6, // sweeps+residual+hierarchy
+        bytes: points * 8.0 * 3.0 * 4.0 * cycles as f64 * 1.6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: usize) -> (Grid3, Grid3) {
+        let mut rng = Lcg::new(1);
+        let mut f = Grid3::zeros(n);
+        for i in 1..=n {
+            for j in 1..=n {
+                for k in 1..=n {
+                    f.set(i, j, k, rng.next_f64() - 0.5);
+                }
+            }
+        }
+        (Grid3::zeros(n), f)
+    }
+
+    #[test]
+    fn v_cycles_reduce_residual() {
+        let (mut u, f) = setup(16);
+        let r0 = residual(&u, &f).norm();
+        for _ in 0..4 {
+            v_cycle(&mut u, &f, 3);
+        }
+        let r4 = residual(&u, &f).norm();
+        assert!(r4 < r0 * 0.5, "r0={r0} r4={r4}");
+    }
+
+    #[test]
+    fn multigrid_beats_plain_smoothing() {
+        let (mut u_mg, f) = setup(16);
+        let (mut u_sm, _) = setup(16);
+        // Same number of fine-grid sweeps: 1 V-cycle(depth 2) ≈ 4 fine sweeps.
+        v_cycle(&mut u_mg, &f, 2);
+        smooth(&mut u_sm, &f, 4);
+        let r_mg = residual(&u_mg, &f).norm();
+        let r_sm = residual(&u_sm, &f).norm();
+        assert!(r_mg < r_sm, "mg={r_mg} smooth={r_sm}");
+    }
+
+    #[test]
+    fn restriction_halves_grid() {
+        let (u, _) = setup(8);
+        let c = restrict(&u);
+        assert_eq!(c.n, 4);
+    }
+
+    #[test]
+    fn smoothing_preserves_zero_solution_for_zero_rhs() {
+        let mut u = Grid3::zeros(8);
+        let f = Grid3::zeros(8);
+        smooth(&mut u, &f, 3);
+        assert_eq!(u.norm(), 0.0);
+    }
+}

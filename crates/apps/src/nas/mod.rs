@@ -1,0 +1,141 @@
+//! NAS Parallel Benchmark kernels, scaled down to run in milliseconds to a
+//! few seconds — matching the paper's use of serial NAS runs (0.6–4.2 s) as
+//! FaaS-like workloads (Sec. V-B).
+
+pub mod bt;
+pub mod cg;
+pub mod ep;
+pub mod ft;
+pub mod lu;
+pub mod mg;
+
+/// Which kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NasKernel {
+    Bt,
+    Cg,
+    Ep,
+    Ft,
+    Lu,
+    Mg,
+}
+
+impl NasKernel {
+    pub const ALL: [NasKernel; 6] = [
+        NasKernel::Bt,
+        NasKernel::Cg,
+        NasKernel::Ep,
+        NasKernel::Ft,
+        NasKernel::Lu,
+        NasKernel::Mg,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            NasKernel::Bt => "BT",
+            NasKernel::Cg => "CG",
+            NasKernel::Ep => "EP",
+            NasKernel::Ft => "FT",
+            NasKernel::Lu => "LU",
+            NasKernel::Mg => "MG",
+        }
+    }
+}
+
+/// Problem classes. The real suite's S/W/A/B sizes are far too large for a
+/// unit-test budget; these preserve the *ratios* between classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NasClass {
+    S,
+    W,
+    A,
+    B,
+}
+
+impl NasClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            NasClass::S => "S",
+            NasClass::W => "W",
+            NasClass::A => "A",
+            NasClass::B => "B",
+        }
+    }
+
+    /// Linear scale factor applied per kernel.
+    pub(crate) fn scale(self) -> usize {
+        match self {
+            NasClass::S => 1,
+            NasClass::W => 2,
+            NasClass::A => 4,
+            NasClass::B => 8,
+        }
+    }
+}
+
+/// Outcome of one kernel execution.
+#[derive(Debug, Clone, Copy)]
+pub struct NasResult {
+    /// Verification checksum (kernel-specific meaning).
+    pub checksum: f64,
+    /// Approximate floating-point operations performed.
+    pub flops: f64,
+    /// Approximate bytes touched.
+    pub bytes: f64,
+}
+
+/// Run `kernel` at `class` with a deterministic seed.
+pub fn run(kernel: NasKernel, class: NasClass, seed: u64) -> NasResult {
+    match kernel {
+        NasKernel::Bt => bt::run(class, seed),
+        NasKernel::Cg => cg::run(class, seed),
+        NasKernel::Ep => ep::run(class, seed),
+        NasKernel::Ft => ft::run(class, seed),
+        NasKernel::Lu => lu::run(class, seed),
+        NasKernel::Mg => mg::run(class, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_all_classes_run_and_are_deterministic() {
+        for k in NasKernel::ALL {
+            for c in [NasClass::S, NasClass::W] {
+                let a = run(k, c, 42);
+                let b = run(k, c, 42);
+                assert_eq!(a.checksum, b.checksum, "{} {}", k.name(), c.name());
+                assert!(a.checksum.is_finite());
+                assert!(a.flops > 0.0);
+                assert!(a.bytes > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn classes_scale_work() {
+        for k in NasKernel::ALL {
+            let s = run(k, NasClass::S, 1);
+            let w = run(k, NasClass::W, 1);
+            assert!(
+                w.flops > 1.5 * s.flops,
+                "{}: W ({}) should outwork S ({})",
+                k.name(),
+                w.flops,
+                s.flops
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_change_results_for_stochastic_kernels() {
+        // EP and CG build random inputs; different seeds → different sums.
+        for k in [NasKernel::Ep, NasKernel::Cg] {
+            let a = run(k, NasClass::S, 1);
+            let b = run(k, NasClass::S, 2);
+            assert_ne!(a.checksum, b.checksum, "{}", k.name());
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! OpenMC-like Monte Carlo neutron transport (the paper's Fig. 13b/c
+//! workload: the `opr` Optimized Power Reactor benchmark with 1,000 and
+//! 10,000 particles).
+//!
+//! Particles random-walk through a 1-D multi-region reactor model (fuel /
+//! moderator / reflector), sampling free-flight distances from total cross
+//! sections and undergoing scattering, absorption, or fission. Particles are
+//! fully independent — exactly the property that lets OpenMC offload batches
+//! of particles to rFaaS functions.
+
+use crate::Lcg;
+
+/// Material cross sections (macroscopic, 1/cm).
+#[derive(Debug, Clone, Copy)]
+pub struct Material {
+    pub name: &'static str,
+    pub sigma_scatter: f64,
+    pub sigma_absorb: f64,
+    pub sigma_fission: f64,
+}
+
+impl Material {
+    pub fn total(&self) -> f64 {
+        self.sigma_scatter + self.sigma_absorb + self.sigma_fission
+    }
+}
+
+/// A slab region `[x_lo, x_hi)` of one material.
+#[derive(Debug, Clone, Copy)]
+pub struct Region {
+    pub x_lo: f64,
+    pub x_hi: f64,
+    pub material: Material,
+}
+
+/// The reactor: a stack of slab regions with vacuum outside.
+#[derive(Debug, Clone)]
+pub struct Reactor {
+    pub regions: Vec<Region>,
+}
+
+impl Reactor {
+    /// A small PWR-like slab model: reflector | fuel | moderator | fuel |
+    /// reflector.
+    pub fn opr_like() -> Self {
+        let fuel = Material {
+            name: "fuel",
+            sigma_scatter: 0.4,
+            sigma_absorb: 0.08,
+            sigma_fission: 0.06,
+        };
+        let moderator = Material {
+            name: "moderator",
+            sigma_scatter: 1.1,
+            sigma_absorb: 0.02,
+            sigma_fission: 0.0,
+        };
+        let reflector = Material {
+            name: "reflector",
+            sigma_scatter: 0.9,
+            sigma_absorb: 0.01,
+            sigma_fission: 0.0,
+        };
+        Reactor {
+            regions: vec![
+                Region { x_lo: 0.0, x_hi: 10.0, material: reflector },
+                Region { x_lo: 10.0, x_hi: 30.0, material: fuel },
+                Region { x_lo: 30.0, x_hi: 50.0, material: moderator },
+                Region { x_lo: 50.0, x_hi: 70.0, material: fuel },
+                Region { x_lo: 70.0, x_hi: 80.0, material: reflector },
+            ],
+        }
+    }
+
+    pub fn width(&self) -> f64 {
+        self.regions.last().map_or(0.0, |r| r.x_hi)
+    }
+
+    fn region_at(&self, x: f64) -> Option<&Region> {
+        self.regions.iter().find(|r| x >= r.x_lo && x < r.x_hi)
+    }
+}
+
+/// Per-particle fate tally.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Tally {
+    pub absorbed: u64,
+    pub fissions: u64,
+    pub leaked: u64,
+    pub collisions: u64,
+    /// Track-length flux estimate, summed over all particles.
+    pub track_length: f64,
+    /// Secondary neutrons produced (ν per fission ≈ 2.43).
+    pub secondaries: u64,
+}
+
+impl Tally {
+    pub fn merge(&mut self, o: &Tally) {
+        self.absorbed += o.absorbed;
+        self.fissions += o.fissions;
+        self.leaked += o.leaked;
+        self.collisions += o.collisions;
+        self.track_length += o.track_length;
+        self.secondaries += o.secondaries;
+    }
+
+    /// Multiplication-factor estimate: secondaries per source particle.
+    pub fn k_estimate(&self, source_particles: u64) -> f64 {
+        self.secondaries as f64 / source_particles.max(1) as f64
+    }
+}
+
+const NU: f64 = 2.43;
+const MAX_COLLISIONS: u64 = 10_000;
+
+/// Transport one particle born at `x0` moving in direction `dir` (±1 after
+/// projection); returns its tally contribution.
+pub fn transport_particle(reactor: &Reactor, x0: f64, rng: &mut Lcg) -> Tally {
+    let mut tally = Tally::default();
+    let mut x = x0;
+    // Isotropic emission projected on the slab axis.
+    let mut mu: f64 = 2.0 * rng.next_f64() - 1.0;
+    if mu.abs() < 1e-3 {
+        mu = 1e-3;
+    }
+    loop {
+        let Some(region) = reactor.region_at(x) else {
+            tally.leaked += 1;
+            return tally;
+        };
+        let sigma_t = region.material.total();
+        let flight = -rng.next_f64().max(1e-12).ln() / sigma_t;
+        let x_new = x + mu * flight;
+        tally.track_length += (x_new - x).abs();
+        x = x_new;
+        if x < 0.0 || x >= reactor.width() {
+            tally.leaked += 1;
+            return tally;
+        }
+        // Collision: sample interaction in the *current* region.
+        let Some(region) = reactor.region_at(x) else {
+            tally.leaked += 1;
+            return tally;
+        };
+        tally.collisions += 1;
+        if tally.collisions >= MAX_COLLISIONS {
+            // Defensive cap; physically unreachable with these cross sections.
+            tally.absorbed += 1;
+            return tally;
+        }
+        let m = region.material;
+        let xi = rng.next_f64() * m.total();
+        if xi < m.sigma_scatter {
+            mu = 2.0 * rng.next_f64() - 1.0;
+            if mu.abs() < 1e-3 {
+                mu = 1e-3;
+            }
+        } else if xi < m.sigma_scatter + m.sigma_absorb {
+            tally.absorbed += 1;
+            return tally;
+        } else {
+            tally.fissions += 1;
+            tally.absorbed += 1; // fission consumes the neutron
+            // Expected secondaries; integer sampling keeps tallies discrete.
+            let n = NU.floor() as u64 + u64::from(rng.next_f64() < NU.fract());
+            tally.secondaries += n;
+            return tally;
+        }
+    }
+}
+
+/// Transport a batch of particles born uniformly in the fuel; this is the
+/// unit of work offloaded to functions in Fig. 13b/c.
+pub fn run_batch(reactor: &Reactor, particles: u64, seed: u64) -> Tally {
+    let mut rng = Lcg::new(seed);
+    let mut tally = Tally::default();
+    // Source: uniform over fuel regions.
+    let fuel_regions: Vec<&Region> = reactor
+        .regions
+        .iter()
+        .filter(|r| r.material.sigma_fission > 0.0)
+        .collect();
+    assert!(!fuel_regions.is_empty(), "reactor needs fuel");
+    for i in 0..particles {
+        let r = fuel_regions[(i % fuel_regions.len() as u64) as usize];
+        let x0 = r.x_lo + rng.next_f64() * (r.x_hi - r.x_lo);
+        let t = transport_particle(reactor, x0, &mut rng);
+        tally.merge(&t);
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn particle_fates_are_exhaustive() {
+        let reactor = Reactor::opr_like();
+        let t = run_batch(&reactor, 2_000, 42);
+        assert_eq!(t.absorbed + t.leaked, 2_000, "every particle ends somewhere");
+        assert!(t.collisions > 0);
+        assert!(t.track_length > 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let reactor = Reactor::opr_like();
+        assert_eq!(run_batch(&reactor, 500, 7), run_batch(&reactor, 500, 7));
+        assert_ne!(run_batch(&reactor, 500, 7), run_batch(&reactor, 500, 8));
+    }
+
+    #[test]
+    fn k_estimate_physically_plausible() {
+        let reactor = Reactor::opr_like();
+        let t = run_batch(&reactor, 20_000, 3);
+        let k = t.k_estimate(20_000);
+        // Sub-critical slab: 0 < k < 1.5 for these cross sections.
+        assert!(k > 0.05 && k < 1.5, "k={k}");
+    }
+
+    #[test]
+    fn batches_merge_like_one_run() {
+        let reactor = Reactor::opr_like();
+        // Statistical equivalence: merged halves vs one run of the same
+        // total gives similar absorption fractions.
+        let mut merged = run_batch(&reactor, 5_000, 1);
+        merged.merge(&run_batch(&reactor, 5_000, 2));
+        let whole = run_batch(&reactor, 10_000, 3);
+        let fa = merged.absorbed as f64 / 10_000.0;
+        let fb = whole.absorbed as f64 / 10_000.0;
+        assert!((fa - fb).abs() < 0.05, "fa={fa} fb={fb}");
+    }
+
+    #[test]
+    fn vacuum_everywhere_leaks_everything() {
+        let empty = Reactor { regions: vec![] };
+        let mut rng = Lcg::new(1);
+        let t = transport_particle(&empty, 1.0, &mut rng);
+        assert_eq!(t.leaked, 1);
+        assert_eq!(t.collisions, 0);
+    }
+
+    #[test]
+    fn pure_absorber_absorbs() {
+        let absorber = Material {
+            name: "blackhole",
+            sigma_scatter: 0.0,
+            sigma_absorb: 100.0,
+            sigma_fission: 0.0,
+        };
+        let reactor = Reactor {
+            regions: vec![Region {
+                x_lo: 0.0,
+                x_hi: 1000.0,
+                material: absorber,
+            }],
+        };
+        let mut rng = Lcg::new(5);
+        let mut absorbed = 0;
+        for _ in 0..100 {
+            let t = transport_particle(&reactor, 500.0, &mut rng);
+            absorbed += t.absorbed;
+        }
+        assert_eq!(absorbed, 100);
+    }
+}

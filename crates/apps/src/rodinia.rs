@@ -1,0 +1,279 @@
+//! Rodinia-like kernels (the GPU benchmarks of Fig. 12), implemented as real
+//! CPU computations. On the simulated platform these are the *device-side
+//! payloads* of GPU functions; here they also serve as criterion bench
+//! bodies and correctness anchors.
+
+use crate::Lcg;
+
+/// BFS over a CSR graph; returns levels (`u32::MAX` = unreachable).
+pub fn bfs(row_ptr: &[usize], cols: &[u32], source: usize) -> Vec<u32> {
+    let n = row_ptr.len() - 1;
+    let mut level = vec![u32::MAX; n];
+    let mut frontier = vec![source];
+    level[source] = 0;
+    let mut depth = 0u32;
+    while !frontier.is_empty() {
+        depth += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for k in row_ptr[u]..row_ptr[u + 1] {
+                let v = cols[k] as usize;
+                if level[v] == u32::MAX {
+                    level[v] = depth;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    level
+}
+
+/// Random graph in CSR form (out-degree `deg` per vertex).
+pub fn random_graph(n: usize, deg: usize, seed: u64) -> (Vec<usize>, Vec<u32>) {
+    let mut rng = Lcg::new(seed);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut cols = Vec::with_capacity(n * deg);
+    row_ptr.push(0);
+    for i in 0..n {
+        for _ in 0..deg {
+            cols.push(rng.below(n) as u32);
+        }
+        // Ensure a ring edge so the graph is connected from any source.
+        cols.push(((i + 1) % n) as u32);
+        row_ptr.push(cols.len());
+    }
+    (row_ptr, cols)
+}
+
+/// Gaussian elimination with partial pivoting; returns the solution of
+/// `A x = b`. (Rodinia's `gaussian`.)
+pub fn gaussian_solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    let mut m: Vec<Vec<f64>> = a.iter().cloned().collect();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        let piv = (col..n).max_by(|&r1, &r2| {
+            m[r1][col]
+                .abs()
+                .partial_cmp(&m[r2][col].abs())
+                .expect("finite")
+        })?;
+        if m[piv][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, piv);
+        rhs.swap(col, piv);
+        for r in col + 1..n {
+            let f = m[r][col] / m[col][col];
+            for c in col..n {
+                m[r][c] -= f * m[col][c];
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = rhs[r];
+        for c in r + 1..n {
+            acc -= m[r][c] * x[c];
+        }
+        x[r] = acc / m[r][r];
+    }
+    Some(x)
+}
+
+/// Hotspot: thermal simulation on a 2-D chip grid with a power map.
+/// Returns the temperature grid after `steps` explicit iterations.
+pub fn hotspot(temp: &mut Vec<f64>, power: &[f64], n: usize, steps: usize) {
+    assert_eq!(temp.len(), n * n);
+    assert_eq!(power.len(), n * n);
+    const CAP: f64 = 0.5;
+    const K: f64 = 0.1;
+    let mut next = temp.clone();
+    for _ in 0..steps {
+        for i in 0..n {
+            for j in 0..n {
+                let c = i * n + j;
+                let t = temp[c];
+                let up = if i > 0 { temp[c - n] } else { t };
+                let down = if i + 1 < n { temp[c + n] } else { t };
+                let left = if j > 0 { temp[c - 1] } else { t };
+                let right = if j + 1 < n { temp[c + 1] } else { t };
+                next[c] = t + CAP * (power[c] + K * (up + down + left + right - 4.0 * t));
+            }
+        }
+        std::mem::swap(temp, &mut next);
+    }
+}
+
+/// Pathfinder: minimum-cost path through a grid, row by row (dynamic
+/// programming). Returns the minimum total cost to reach the last row.
+pub fn pathfinder(grid: &[Vec<u32>]) -> u64 {
+    assert!(!grid.is_empty());
+    let cols = grid[0].len();
+    let mut cost: Vec<u64> = grid[0].iter().map(|&c| u64::from(c)).collect();
+    for row in &grid[1..] {
+        assert_eq!(row.len(), cols);
+        let mut next = vec![0u64; cols];
+        for j in 0..cols {
+            let mut best = cost[j];
+            if j > 0 {
+                best = best.min(cost[j - 1]);
+            }
+            if j + 1 < cols {
+                best = best.min(cost[j + 1]);
+            }
+            next[j] = best + u64::from(row[j]);
+        }
+        cost = next;
+    }
+    cost.into_iter().min().expect("non-empty row")
+}
+
+/// SRAD (speckle-reducing anisotropic diffusion) — one simplified diffusion
+/// update over an image. Returns the updated image.
+pub fn srad(img: &[f64], n: usize, lambda: f64, iterations: usize) -> Vec<f64> {
+    assert_eq!(img.len(), n * n);
+    let mut cur = img.to_vec();
+    let mut next = vec![0.0; n * n];
+    for _ in 0..iterations {
+        // Global statistics drive the diffusion coefficient (as in SRAD).
+        let mean: f64 = cur.iter().sum::<f64>() / cur.len() as f64;
+        let var: f64 =
+            cur.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / cur.len() as f64;
+        let q0 = var / (mean * mean + 1e-12);
+        for i in 0..n {
+            for j in 0..n {
+                let c = i * n + j;
+                let v = cur[c];
+                let up = if i > 0 { cur[c - n] } else { v };
+                let down = if i + 1 < n { cur[c + n] } else { v };
+                let left = if j > 0 { cur[c - 1] } else { v };
+                let right = if j + 1 < n { cur[c + 1] } else { v };
+                let grad = up + down + left + right - 4.0 * v;
+                let q = (grad / (v + 1e-12)).abs();
+                let coeff = 1.0 / (1.0 + (q - q0).max(0.0));
+                next[c] = v + lambda * coeff * grad;
+            }
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Myocyte: explicit integration of a stiff-ish cardiac-cell ODE toy model
+/// (two-variable FitzHugh–Nagumo). Returns the final (v, w).
+pub fn myocyte(steps: usize, dt: f64) -> (f64, f64) {
+    let (mut v, mut w) = (-1.0f64, 1.0f64);
+    const A: f64 = 0.7;
+    const B: f64 = 0.8;
+    const TAU: f64 = 12.5;
+    const I_EXT: f64 = 0.5;
+    for _ in 0..steps {
+        let dv = v - v * v * v / 3.0 - w + I_EXT;
+        let dw = (v + A - B * w) / TAU;
+        v += dt * dv;
+        w += dt * dw;
+    }
+    (v, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_levels_on_known_graph() {
+        // 0 -> 1 -> 2, 0 -> 2, 3 isolated (no ring for this hand graph).
+        let row_ptr = vec![0, 2, 3, 3, 3];
+        let cols = vec![1, 2, 2];
+        let levels = bfs(&row_ptr, &cols, 0);
+        assert_eq!(levels, vec![0, 1, 1, u32::MAX]);
+    }
+
+    #[test]
+    fn bfs_ring_graph_reaches_everything() {
+        let (row_ptr, cols) = random_graph(500, 3, 9);
+        let levels = bfs(&row_ptr, &cols, 0);
+        assert!(levels.iter().all(|&l| l != u32::MAX), "ring edge connects all");
+    }
+
+    #[test]
+    fn gaussian_solves_known_system() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let b = vec![8.0, -11.0, -3.0];
+        let x = gaussian_solve(&a, &b).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(&expect) {
+            assert!((xi - ei).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gaussian_detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(gaussian_solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn hotspot_heats_under_power() {
+        let n = 16;
+        let mut temp = vec![300.0; n * n];
+        let mut power = vec![0.0; n * n];
+        power[n * n / 2] = 10.0;
+        hotspot(&mut temp, &power, n, 50);
+        assert!(temp[n * n / 2] > 300.0, "powered cell heats up");
+        let avg: f64 = temp.iter().sum::<f64>() / temp.len() as f64;
+        assert!(avg > 300.0);
+    }
+
+    #[test]
+    fn hotspot_uniform_no_power_is_steady() {
+        let n = 8;
+        let mut temp = vec![350.0; n * n];
+        let power = vec![0.0; n * n];
+        hotspot(&mut temp, &power, n, 20);
+        assert!(temp.iter().all(|&t| (t - 350.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn pathfinder_matches_bruteforce_on_small_grid() {
+        let grid = vec![
+            vec![1u32, 9, 1],
+            vec![9, 1, 9],
+            vec![1, 9, 1],
+        ];
+        // Best: 1 (col0) -> 1 (col1) -> 1 (col0 or col2) = 3.
+        assert_eq!(pathfinder(&grid), 3);
+    }
+
+    #[test]
+    fn pathfinder_single_row() {
+        assert_eq!(pathfinder(&[vec![5u32, 2, 7]]), 2);
+    }
+
+    #[test]
+    fn srad_smooths_noise() {
+        let n = 24;
+        let mut rng = Lcg::new(6);
+        let img: Vec<f64> = (0..n * n).map(|_| 1.0 + rng.next_f64()).collect();
+        let out = srad(&img, n, 0.1, 30);
+        let var = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(var(&out) < var(&img), "diffusion reduces variance");
+    }
+
+    #[test]
+    fn myocyte_converges_to_bounded_orbit() {
+        let (v, w) = myocyte(200_000, 0.01);
+        assert!(v.is_finite() && w.is_finite());
+        assert!(v.abs() < 3.0 && w.abs() < 3.0, "FHN stays on its attractor");
+    }
+}

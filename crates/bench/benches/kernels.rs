@@ -1,0 +1,100 @@
+//! Real wall-clock measurements of the mini-app kernels — the workloads
+//! behind Table III (NAS), Fig. 12 (Rodinia payloads), and Fig. 13
+//! (Black-Scholes, OpenMC offload bodies).
+
+use apps::nas::{self, NasClass, NasKernel};
+use apps::{blackscholes, lulesh, milc, openmc, rodinia};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_nas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nas_class_s");
+    g.sample_size(10);
+    for kernel in NasKernel::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kernel.name()), &kernel, |b, &k| {
+            b.iter(|| black_box(nas::run(k, NasClass::S, 42)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_blackscholes(c: &mut Criterion) {
+    let opts = blackscholes::portfolio(10_000, 7);
+    c.bench_function("blackscholes_10k_options", |b| {
+        b.iter(|| black_box(blackscholes::price_chunk(&opts, 1)));
+    });
+}
+
+fn bench_openmc(c: &mut Criterion) {
+    let reactor = openmc::Reactor::opr_like();
+    let mut g = c.benchmark_group("openmc");
+    g.sample_size(10);
+    for particles in [1_000u64, 10_000] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(particles),
+            &particles,
+            |b, &n| b.iter(|| black_box(openmc::run_batch(&reactor, n, 42))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_lulesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lulesh_proxy");
+    g.sample_size(10);
+    for ranks in [1usize, 8] {
+        g.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, &r| {
+            b.iter(|| {
+                black_box(lulesh::run(
+                    r,
+                    lulesh::LuleshConfig { size: 6, steps: 5 },
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_milc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("milc_proxy");
+    g.sample_size(10);
+    g.bench_function("4x4x4x4_sweeps3", |b| {
+        b.iter(|| black_box(milc::run(4, 4, 3, 42)));
+    });
+    g.finish();
+}
+
+fn bench_rodinia(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rodinia");
+    g.sample_size(10);
+    let (row_ptr, cols) = rodinia::random_graph(20_000, 4, 3);
+    g.bench_function("bfs_20k", |b| {
+        b.iter(|| black_box(rodinia::bfs(&row_ptr, &cols, 0)));
+    });
+    g.bench_function("hotspot_64x64x20", |b| {
+        let power = vec![0.1; 64 * 64];
+        b.iter(|| {
+            let mut temp = vec![300.0; 64 * 64];
+            rodinia::hotspot(&mut temp, &power, 64, 20);
+            black_box(temp[0])
+        });
+    });
+    g.bench_function("pathfinder_100x1000", |b| {
+        let grid: Vec<Vec<u32>> = (0..100)
+            .map(|i| (0..1000).map(|j| ((i * j) % 10) as u32).collect())
+            .collect();
+        b.iter(|| black_box(rodinia::pathfinder(&grid)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_nas,
+    bench_blackscholes,
+    bench_openmc,
+    bench_lulesh,
+    bench_milc,
+    bench_rodinia
+);
+criterion_main!(kernels);

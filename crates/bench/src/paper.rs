@@ -1,0 +1,131 @@
+//! Reference values transcribed from the paper's tables and figures — the
+//! targets each reproduction binary compares against.
+
+/// Table III: relative throughput of an idle node running rFaaS functions.
+/// Rows: (app, class); columns: executor counts.
+pub const TABLE3_EXECUTORS: [u32; 8] = [1, 2, 4, 8, 12, 16, 24, 32];
+
+pub const TABLE3: [(&str, [f64; 8]); 4] = [
+    ("BT.W", [1.0, 1.95, 3.8, 6.9, 9.5, 11.7, 17.37, 23.3]),
+    ("CG.A", [1.0, 1.85, 2.8, 4.8, 5.8, 6.0, 8.5, 11.4]),
+    ("EP.W", [1.0, 2.0, 3.78, 6.8, 10.2, 13.6, 20.4, 27.2]),
+    // LU had no measurements at 16 and 32 in the paper (NaN).
+    ("LU.W", [1.0, 1.9, 3.76, 6.7, 9.96, f64::NAN, 19.7, f64::NAN]),
+];
+
+/// Fig. 1 headline statistics (Piz Daint, March 2022).
+pub struct Fig1Targets {
+    pub median_idle_nodes: f64,
+    pub median_availability_min: (f64, f64),
+    pub frac_idle_below_10min: (f64, f64),
+    pub mean_memory_used_pct: f64,
+}
+
+pub const FIG1: Fig1Targets = Fig1Targets {
+    median_idle_nodes: 252.0,
+    median_availability_min: (5.0, 6.5),
+    frac_idle_below_10min: (0.70, 0.80),
+    mean_memory_used_pct: 24.0,
+};
+
+/// Fig. 9 baselines (seconds).
+pub const LULESH_BASELINES: [(u32, f64); 4] = [(15, 40.6), (18, 77.6), (20, 119.0), (25, 292.0)];
+pub const MILC_BASELINES: [(u32, f64); 4] = [(32, 87.2), (64, 169.0), (96, 288.4), (128, 409.5)];
+
+/// Fig. 9 co-located NAS configurations: (kernel, class, MPI ranks,
+/// baseline seconds from Fig. 9b).
+pub const FIG9_NAS: [(&str, &str, u32, f64); 6] = [
+    ("BT", "A", 4, 12.3),
+    ("BT", "W", 1, 2.0),
+    ("CG", "B", 8, 7.2),
+    ("EP", "B", 2, 9.4),
+    ("LU", "A", 4, 6.8),
+    ("MG", "W", 1, 0.13),
+];
+
+/// Fig. 10 heatmap, paper values. Rows in order:
+/// BT.A, BT.W, CG.B, EP.B, LU.A, MG.A, MG.W.
+pub const FIG10_ROWS: [&str; 7] = ["BT.A", "BT.W", "CG.B", "EP.B", "LU.A", "MG.A", "MG.W"];
+pub const FIG10_UTILISATION: [[f64; 3]; 7] = [
+    // [disaggregation, ideal non-sharing, realistic]
+    [0.938, 0.893, 0.693],
+    [0.903, 0.890, 0.640],
+    [0.993, 0.901, 0.650],
+    [0.915, 0.891, 0.661],
+    [0.941, 0.893, 0.677],
+    [0.903, 0.890, 0.627],
+    [0.903, 0.890, 0.642],
+];
+pub const FIG10_TOTAL_TIME: [[f64; 3]; 7] = [
+    [0.873, 1.0, 1.0],
+    [0.980, 1.0, 1.0],
+    [0.933, 1.0, 1.0],
+    [0.901, 1.0, 1.0],
+    [0.925, 1.0, 1.0],
+    [0.999, 1.0, 1.0],
+    [1.010, 1.0, 1.0],
+];
+pub const FIG10_CORE_HOURS: [[f64; 3]; 7] = [
+    [0.963, 1.0, 1.29],
+    [0.992, 1.0, 1.39],
+    [0.901, 1.0, 1.39],
+    [0.981, 1.0, 1.35],
+    [0.960, 1.0, 1.32],
+    [0.999, 1.0, 1.42],
+    [1.000, 1.0, 1.39],
+];
+
+/// Fig. 11 memory-service intervals (ms).
+pub const FIG11_INTERVALS_MS: [f64; 8] = [1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0];
+
+/// Fig. 12 LULESH baselines on GPU nodes (seconds).
+pub const FIG12_LULESH_BASELINES: [(u32, f64); 4] =
+    [(15, 24.5), (18, 48.3), (20, 74.0), (25, 183.5)];
+pub const FIG12_MILC_BASELINES: [(u32, f64); 4] =
+    [(32, 89.2), (64, 171.0), (96, 235.6), (128, 326.8)];
+
+/// Fig. 13 OpenMC reference points (seconds).
+pub struct OpenMcRef {
+    pub particles: u64,
+    pub serial_s: f64,
+    pub openmp_s: f64,
+    pub rfaas_s: f64,
+    pub combined_s: f64,
+}
+
+pub const FIG13_OPENMC: [OpenMcRef; 2] = [
+    OpenMcRef {
+        particles: 1_000,
+        serial_s: 91.4,
+        openmp_s: 4.53,
+        rfaas_s: 4.83,
+        combined_s: 4.03,
+    },
+    OpenMcRef {
+        particles: 10_000,
+        serial_s: 906.9,
+        openmp_s: 38.3,
+        rfaas_s: 47.8,
+        combined_s: 23.3,
+    },
+];
+
+/// Fig. 13a Black-Scholes: serial 726 ms on a 229 MB input, 100 repetitions,
+/// speedups up to ~30 at 64-way parallelism.
+pub struct BlackScholesRef {
+    pub serial_ms: f64,
+    pub input_mb: f64,
+    pub repetitions: u32,
+    pub max_speedup: f64,
+}
+
+pub const FIG13_BLACKSCHOLES: BlackScholesRef = BlackScholesRef {
+    serial_ms: 726.0,
+    input_mb: 229.0,
+    repetitions: 100,
+    max_speedup: 30.0,
+};
+
+/// Headline claims checked by the integration tests.
+pub const HEADLINE_THROUGHPUT_IMPROVEMENT_PCT: f64 = 53.0;
+pub const HEADLINE_REMOTE_MEMORY_GBPS: f64 = 1.0;

@@ -1,0 +1,24 @@
+//! # cluster — SLURM-like batch system substrate
+//!
+//! Models the aggregated HPC system the paper targets: nodes with cores,
+//! memory and GPUs; a FCFS + EASY-backfill scheduler with exclusive and
+//! shared (`--shared` / oversubscription partition) allocations and GRES
+//! tracking for GPUs; a workload trace generator calibrated to the Piz Daint
+//! March-2022 statistics of Fig. 1; a 2-minute sampling monitor reproducing
+//! the paper's idle-CPU / free-memory / idle-period measurements; and a
+//! core-hour billing ledger used by the Fig. 10 utilization comparison.
+
+pub mod billing;
+pub mod job;
+pub mod monitor;
+pub mod node;
+pub mod scheduler;
+pub mod trace;
+
+pub use billing::{BillingLedger, BillingPolicy};
+pub use fabric::NodeId;
+pub use job::{Job, JobId, JobSpec, JobState};
+pub use monitor::{IdlePeriodStats, MonitorReport, UtilizationMonitor};
+pub use node::{Node, NodeResources, NodeState};
+pub use scheduler::{Cluster, SchedulerError};
+pub use trace::{simulate_trace, TraceOutcome, TraceProfile};

@@ -1,0 +1,270 @@
+//! Utilization sampling, reproducing the methodology behind Fig. 1: the
+//! paper queried SLURM every two minutes for a month and derived idle-CPU
+//! rates, the free-memory split, and idle-period durations *estimated from
+//! discrete sampling* (hence the "minimal" and "maximal" estimation panels of
+//! Fig. 1c). We record both the sampled estimates and the simulator's ground
+//! truth.
+
+use crate::scheduler::Cluster;
+use des::{Percentiles, SimTime};
+use fabric::NodeId;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Summary statistics over idle-period durations.
+#[derive(Debug, Clone, Serialize)]
+pub struct IdlePeriodStats {
+    pub events: usize,
+    pub median_min: f64,
+    pub mean_min: f64,
+    /// Fraction of idle events shorter than ten minutes — the paper's
+    /// headline "70–80% of idle events last less than 10 minutes".
+    pub frac_below_10min: f64,
+}
+
+impl IdlePeriodStats {
+    fn from_percentiles(p: &mut Percentiles) -> Self {
+        if p.is_empty() {
+            return IdlePeriodStats {
+                events: 0,
+                median_min: f64::NAN,
+                mean_min: f64::NAN,
+                frac_below_10min: f64::NAN,
+            };
+        }
+        IdlePeriodStats {
+            events: p.len(),
+            median_min: p.median() / 60.0,
+            mean_min: p.mean() / 60.0,
+            frac_below_10min: p.cdf_at(600.0),
+        }
+    }
+}
+
+/// Full monitoring report (Fig. 1 panels).
+#[derive(Debug, Clone, Serialize)]
+pub struct MonitorReport {
+    /// (time, idle CPU %) — Fig. 1a.
+    pub idle_cpu_pct: Vec<(f64, f64)>,
+    /// (time, used %, free-on-allocated %, free-on-idle %) — Fig. 1b.
+    pub memory_split_pct: Vec<(f64, f64, f64, f64)>,
+    /// Idle node count at each sample.
+    pub idle_nodes: Vec<usize>,
+    pub median_idle_nodes: f64,
+    /// Ground-truth idle periods (exact transition times).
+    pub exact: IdlePeriodStats,
+    /// Discrete-sampling lower bound: `(k-1) * interval` for `k` consecutive
+    /// idle samples.
+    pub minimal_estimation: IdlePeriodStats,
+    /// Discrete-sampling upper bound: `(k+1) * interval`.
+    pub maximal_estimation: IdlePeriodStats,
+}
+
+/// Samples a [`Cluster`] at a fixed interval.
+pub struct UtilizationMonitor {
+    interval: SimTime,
+    idle_cpu_pct: Vec<(f64, f64)>,
+    memory_split_pct: Vec<(f64, f64, f64, f64)>,
+    idle_nodes: Vec<usize>,
+    exact_periods: Percentiles,
+    /// consecutive idle-sample run length per node
+    idle_runs: HashMap<NodeId, u32>,
+    minimal: Percentiles,
+    maximal: Percentiles,
+}
+
+impl UtilizationMonitor {
+    /// The paper samples every two minutes.
+    pub fn two_minute() -> Self {
+        Self::new(SimTime::from_mins(2))
+    }
+
+    pub fn new(interval: SimTime) -> Self {
+        assert!(!interval.is_zero());
+        UtilizationMonitor {
+            interval,
+            idle_cpu_pct: Vec::new(),
+            memory_split_pct: Vec::new(),
+            idle_nodes: Vec::new(),
+            exact_periods: Percentiles::new(),
+            idle_runs: HashMap::new(),
+            minimal: Percentiles::new(),
+            maximal: Percentiles::new(),
+        }
+    }
+
+    pub fn interval(&self) -> SimTime {
+        self.interval
+    }
+
+    /// Record a ground-truth idle period (from the scheduler's allocation
+    /// path).
+    pub fn record_exact_idle_period(&mut self, period: SimTime) {
+        self.exact_periods.push(period.as_secs_f64());
+    }
+
+    /// Take one sample of the cluster state.
+    pub fn sample(&mut self, cluster: &Cluster, now: SimTime) {
+        let t_days = now.as_secs_f64() / 86_400.0;
+
+        let (used_cores, total_cores) = cluster.core_usage();
+        let idle_pct = 100.0 * (total_cores - used_cores) as f64 / total_cores.max(1) as f64;
+        self.idle_cpu_pct.push((t_days, idle_pct));
+
+        let (mem_used, free_alloc, free_idle) = cluster.memory_usage();
+        let total_mem = (mem_used + free_alloc + free_idle).max(1) as f64;
+        self.memory_split_pct.push((
+            t_days,
+            100.0 * mem_used as f64 / total_mem,
+            100.0 * free_alloc as f64 / total_mem,
+            100.0 * free_idle as f64 / total_mem,
+        ));
+
+        self.idle_nodes.push(cluster.idle_node_count());
+
+        // Discrete idle-period estimation: extend runs for idle nodes, close
+        // runs for nodes that stopped being idle.
+        let interval_s = self.interval.as_secs_f64();
+        for node in cluster.nodes() {
+            if node.is_idle() {
+                *self.idle_runs.entry(node.id).or_insert(0) += 1;
+            } else if let Some(k) = self.idle_runs.remove(&node.id) {
+                self.close_run(k, interval_s);
+            }
+        }
+    }
+
+    fn close_run(&mut self, k: u32, interval_s: f64) {
+        debug_assert!(k > 0);
+        self.minimal.push((k.saturating_sub(1)) as f64 * interval_s);
+        self.maximal.push((k + 1) as f64 * interval_s);
+    }
+
+    /// Close all open runs (end of trace) and produce the report.
+    pub fn finish(mut self) -> MonitorReport {
+        let interval_s = self.interval.as_secs_f64();
+        let runs: Vec<u32> = self.idle_runs.drain().map(|(_, k)| k).collect();
+        for k in runs {
+            self.close_run(k, interval_s);
+        }
+        let median_idle_nodes = {
+            let mut p = Percentiles::new();
+            for &n in &self.idle_nodes {
+                p.push(n as f64);
+            }
+            if p.is_empty() {
+                f64::NAN
+            } else {
+                p.median()
+            }
+        };
+        MonitorReport {
+            idle_cpu_pct: self.idle_cpu_pct,
+            memory_split_pct: self.memory_split_pct,
+            idle_nodes: self.idle_nodes,
+            median_idle_nodes,
+            exact: IdlePeriodStats::from_percentiles(&mut self.exact_periods),
+            minimal_estimation: IdlePeriodStats::from_percentiles(&mut self.minimal),
+            maximal_estimation: IdlePeriodStats::from_percentiles(&mut self.maximal),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use crate::node::NodeResources;
+
+    fn spec(nodes: u32) -> JobSpec {
+        JobSpec::exclusive(
+            nodes,
+            NodeResources::daint_mc(),
+            SimTime::from_mins(30),
+            "t",
+        )
+    }
+
+    #[test]
+    fn samples_capture_idle_fraction() {
+        let mut c = Cluster::homogeneous(4, NodeResources::daint_mc());
+        let mut m = UtilizationMonitor::two_minute();
+        m.sample(&c, SimTime::ZERO);
+        c.submit(spec(2), SimTime::from_mins(30), SimTime::ZERO);
+        c.try_schedule(SimTime::ZERO);
+        m.sample(&c, SimTime::from_mins(2));
+        let report = m.finish();
+        assert_eq!(report.idle_cpu_pct[0].1, 100.0);
+        assert_eq!(report.idle_cpu_pct[1].1, 50.0);
+        assert_eq!(report.idle_nodes, vec![4, 2]);
+    }
+
+    #[test]
+    fn memory_split_sums_to_100() {
+        let mut c = Cluster::homogeneous(4, NodeResources::daint_mc());
+        let half = NodeResources {
+            cores: 18,
+            memory_mb: 64 * 1024,
+            gpus: 0,
+        };
+        c.submit(
+            JobSpec::shared(2, half, SimTime::from_mins(30), "t"),
+            SimTime::from_mins(30),
+            SimTime::ZERO,
+        );
+        c.try_schedule(SimTime::ZERO);
+        let mut m = UtilizationMonitor::two_minute();
+        m.sample(&c, SimTime::ZERO);
+        let r = m.finish();
+        let (_, used, fa, fi) = r.memory_split_pct[0];
+        assert!((used + fa + fi - 100.0).abs() < 1e-9);
+        assert!((used - 25.0).abs() < 1e-9); // 2×64 GB of 4×128 GB
+        assert!((fi - 50.0).abs() < 1e-9); // 2 idle nodes
+    }
+
+    #[test]
+    fn discrete_estimation_brackets_truth() {
+        // Node idle for exactly 5 samples (k=5) at 2-min interval:
+        // minimal (k-1)*2 = 8 min, maximal (k+1)*2 = 12 min.
+        let mut c = Cluster::homogeneous(1, NodeResources::daint_mc());
+        let mut m = UtilizationMonitor::two_minute();
+        for i in 0..5 {
+            m.sample(&c, SimTime::from_mins(2 * i));
+        }
+        let id = c.submit(spec(1), SimTime::from_mins(30), SimTime::from_mins(9));
+        let (_, periods) = c.try_schedule(SimTime::from_mins(9));
+        for p in periods {
+            m.record_exact_idle_period(p);
+        }
+        m.sample(&c, SimTime::from_mins(10));
+        c.finish(id, SimTime::from_mins(11)).unwrap();
+        let r = m.finish();
+        assert_eq!(r.minimal_estimation.events, 1);
+        assert!((r.minimal_estimation.median_min - 8.0).abs() < 1e-9);
+        assert!((r.maximal_estimation.median_min - 12.0).abs() < 1e-9);
+        assert!((r.exact.median_min - 9.0).abs() < 1e-9);
+        assert!(
+            r.minimal_estimation.median_min <= r.exact.median_min
+                && r.exact.median_min <= r.maximal_estimation.median_min
+        );
+    }
+
+    #[test]
+    fn open_runs_closed_at_finish() {
+        let c = Cluster::homogeneous(3, NodeResources::daint_mc());
+        let mut m = UtilizationMonitor::two_minute();
+        for i in 0..4 {
+            m.sample(&c, SimTime::from_mins(2 * i));
+        }
+        let r = m.finish();
+        assert_eq!(r.minimal_estimation.events, 3, "one event per idle node");
+    }
+
+    #[test]
+    fn empty_monitor_reports_nan() {
+        let m = UtilizationMonitor::two_minute();
+        let r = m.finish();
+        assert!(r.median_idle_nodes.is_nan());
+        assert_eq!(r.exact.events, 0);
+    }
+}

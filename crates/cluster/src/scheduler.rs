@@ -1,0 +1,522 @@
+//! FCFS + conservative EASY-backfill scheduler over a set of nodes.
+//!
+//! Mirrors the SLURM behaviour the paper relies on: exclusive jobs take whole
+//! nodes; jobs submitted with the shared flag (or to the sharing partition)
+//! can be co-located with other shared work on the same node; GPU nodes are
+//! tracked through GRES-style counts. Walltime estimates drive backfill
+//! reservations; actual runtimes come from the trace and are typically
+//! shorter.
+
+use crate::job::{Job, JobId, JobSpec, JobState};
+use crate::node::{Node, NodeResources};
+use des::SimTime;
+use fabric::NodeId;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Errors from scheduler operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerError {
+    UnknownJob,
+    NotRunning,
+    ImpossibleRequest,
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::UnknownJob => write!(f, "unknown job id"),
+            SchedulerError::NotRunning => write!(f, "job is not running"),
+            SchedulerError::ImpossibleRequest => {
+                write!(f, "request can never be satisfied by this cluster")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+/// The cluster state machine. Drive it with `submit` / `try_schedule` /
+/// `finish`; query idle capacity for the serverless resource manager.
+pub struct Cluster {
+    nodes: Vec<Node>,
+    jobs: HashMap<JobId, Job>,
+    pending: VecDeque<JobId>,
+    next_id: u64,
+    /// Completed-job history kept for statistics.
+    completed: Vec<JobId>,
+}
+
+impl Cluster {
+    pub fn new(nodes: Vec<Node>) -> Self {
+        Cluster {
+            nodes,
+            jobs: HashMap::new(),
+            pending: VecDeque::new(),
+            next_id: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// A homogeneous cluster of `n` nodes.
+    pub fn homogeneous(n: usize, capacity: NodeResources) -> Self {
+        Cluster::new(
+            (0..n)
+                .map(|i| Node::new(NodeId(i as u32), capacity))
+                .collect(),
+        )
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.0 as usize)
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut Node> {
+        self.nodes.get_mut(id.0 as usize)
+    }
+
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn running_jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values().filter(|j| j.state == JobState::Running)
+    }
+
+    pub fn running_count(&self) -> usize {
+        self.running_jobs().count()
+    }
+
+    pub fn completed_jobs(&self) -> impl Iterator<Item = &Job> {
+        self.completed.iter().filter_map(|id| self.jobs.get(id))
+    }
+
+    pub fn idle_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.is_idle())
+    }
+
+    pub fn idle_node_count(&self) -> usize {
+        self.idle_nodes().count()
+    }
+
+    /// Submit a job; returns its id. `actual_runtime` is the runtime the
+    /// trace decided (unknown to the scheduler, which only sees `walltime`).
+    pub fn submit(&mut self, spec: JobSpec, actual_runtime: SimTime, now: SimTime) -> JobId {
+        self.next_id += 1;
+        let id = JobId(self.next_id);
+        let runtime = actual_runtime.min(spec.walltime);
+        self.jobs.insert(id, Job::new(id, spec, now, runtime));
+        self.pending.push_back(id);
+        id
+    }
+
+    /// Whether `spec` could ever be satisfied by an empty cluster.
+    pub fn is_feasible(&self, spec: &JobSpec) -> bool {
+        let fitting = self
+            .nodes
+            .iter()
+            .filter(|n| n.capacity.fits(&spec.per_node))
+            .count();
+        fitting >= spec.nodes as usize
+    }
+
+    /// Find nodes that can host `spec` right now. Placement prefers the
+    /// most-recently-freed nodes (cache- and image-locality heuristics in
+    /// real schedulers have the same effect): freshly released nodes turn
+    /// around quickly, producing the short-idle-period-heavy distribution of
+    /// Fig. 1c, while a minority of nodes accumulates the long tail. Shared
+    /// jobs pack onto already-allocated nodes first.
+    fn find_nodes(&self, spec: &JobSpec) -> Option<Vec<NodeId>> {
+        let mut candidates: Vec<&Node> = self
+            .nodes
+            .iter()
+            .filter(|n| n.can_host(&spec.per_node, spec.shared))
+            .collect();
+        if candidates.len() < spec.nodes as usize {
+            return None;
+        }
+        candidates.sort_by_key(|n| {
+            (
+                std::cmp::Reverse(n.idle_since().unwrap_or(SimTime::MAX)),
+                n.id,
+            )
+        });
+        Some(
+            candidates[..spec.nodes as usize]
+                .iter()
+                .map(|n| n.id)
+                .collect(),
+        )
+    }
+
+    fn start_job(&mut self, id: JobId, nodes: Vec<NodeId>, now: SimTime) -> Vec<SimTime> {
+        let job = self.jobs.get_mut(&id).expect("job exists");
+        job.state = JobState::Running;
+        job.started_at = Some(now);
+        job.assigned = nodes.clone();
+        let per_node = job.spec.per_node;
+        let exclusive = !job.spec.shared;
+        let mut ended_idle_periods = Vec::new();
+        for nid in nodes {
+            let node = self.nodes.get_mut(nid.0 as usize).expect("node exists");
+            if let Some(p) = node.allocate(id, per_node, exclusive, now) {
+                ended_idle_periods.push(p);
+            }
+        }
+        ended_idle_periods
+    }
+
+    /// Earliest time at which the head-of-queue job could start, assuming
+    /// running jobs end at their walltime limit and whole nodes free up.
+    fn shadow_time(&self, head: &JobSpec, now: SimTime) -> SimTime {
+        // Free time of each node = max expected end over its jobs.
+        let mut node_free_at: Vec<(SimTime, &Node)> = self
+            .nodes
+            .iter()
+            .filter(|n| n.capacity.fits(&head.per_node))
+            .map(|n| {
+                let free_at = n
+                    .jobs()
+                    .filter_map(|jid| self.jobs.get(&jid))
+                    .filter_map(|j| j.started_at.map(|s| s + j.spec.walltime))
+                    .max()
+                    .unwrap_or(now);
+                (free_at.max(now), n)
+            })
+            .collect();
+        node_free_at.sort_by_key(|(t, n)| (*t, n.id));
+        if node_free_at.len() < head.nodes as usize {
+            return SimTime::MAX;
+        }
+        node_free_at[head.nodes as usize - 1].0
+    }
+
+    /// Run the scheduling pass: start the queue head while possible, then
+    /// conservatively backfill jobs that finish before the head's shadow
+    /// time. Returns `(started job ids, idle periods that just ended)`.
+    pub fn try_schedule(&mut self, now: SimTime) -> (Vec<JobId>, Vec<SimTime>) {
+        let mut started = Vec::new();
+        let mut idle_periods = Vec::new();
+
+        // FCFS phase.
+        while let Some(&head) = self.pending.front() {
+            let spec = self.jobs[&head].spec.clone();
+            if !self.is_feasible(&spec) {
+                // Drop impossible jobs so they don't wedge the queue.
+                self.pending.pop_front();
+                if let Some(j) = self.jobs.get_mut(&head) {
+                    j.state = JobState::Cancelled;
+                    j.finished_at = Some(now);
+                }
+                continue;
+            }
+            match self.find_nodes(&spec) {
+                Some(nodes) => {
+                    self.pending.pop_front();
+                    idle_periods.extend(self.start_job(head, nodes, now));
+                    started.push(head);
+                }
+                None => break,
+            }
+        }
+
+        // Backfill phase (conservative EASY): jobs behind the head may start
+        // only if their walltime fits before the head's reservation.
+        if let Some(&head) = self.pending.front() {
+            let head_spec = self.jobs[&head].spec.clone();
+            let shadow = self.shadow_time(&head_spec, now);
+            let mut i = 1;
+            while i < self.pending.len() {
+                let jid = self.pending[i];
+                let spec = self.jobs[&jid].spec.clone();
+                let fits_before_shadow = now + spec.walltime <= shadow;
+                if fits_before_shadow {
+                    if let Some(nodes) = self.find_nodes(&spec) {
+                        self.pending.remove(i);
+                        idle_periods.extend(self.start_job(jid, nodes, now));
+                        started.push(jid);
+                        continue; // do not advance i; element shifted in
+                    }
+                }
+                i += 1;
+            }
+        }
+
+        (started, idle_periods)
+    }
+
+    /// Complete a running job, releasing its nodes.
+    pub fn finish(&mut self, id: JobId, now: SimTime) -> Result<(), SchedulerError> {
+        let job = self.jobs.get_mut(&id).ok_or(SchedulerError::UnknownJob)?;
+        if job.state != JobState::Running {
+            return Err(SchedulerError::NotRunning);
+        }
+        job.state = JobState::Completed;
+        job.finished_at = Some(now);
+        let assigned = std::mem::take(&mut job.assigned);
+        for nid in &assigned {
+            if let Some(node) = self.nodes.get_mut(nid.0 as usize) {
+                node.release(id, now);
+            }
+        }
+        // Keep assignment for statistics.
+        self.jobs.get_mut(&id).expect("exists").assigned = assigned;
+        self.completed.push(id);
+        Ok(())
+    }
+
+    /// Cancel a pending or running job.
+    pub fn cancel(&mut self, id: JobId, now: SimTime) -> Result<(), SchedulerError> {
+        let job = self.jobs.get_mut(&id).ok_or(SchedulerError::UnknownJob)?;
+        match job.state {
+            JobState::Pending => {
+                job.state = JobState::Cancelled;
+                job.finished_at = Some(now);
+                self.pending.retain(|&j| j != id);
+                Ok(())
+            }
+            JobState::Running => {
+                self.finish(id, now)?;
+                self.jobs.get_mut(&id).expect("exists").state = JobState::Cancelled;
+                Ok(())
+            }
+            _ => Err(SchedulerError::NotRunning),
+        }
+    }
+
+    /// Next expected completion among running jobs: `(when, job)`.
+    /// The simulation driver uses this to schedule completion events.
+    pub fn next_completion(&self) -> Option<(SimTime, JobId)> {
+        self.running_jobs()
+            .filter_map(|j| j.started_at.map(|s| (s + j.actual_runtime, j.id)))
+            .min()
+    }
+
+    /// Aggregate used/total core counts (for utilization sampling).
+    pub fn core_usage(&self) -> (u64, u64) {
+        let mut used = 0;
+        let mut total = 0;
+        for n in &self.nodes {
+            used += u64::from(n.used().cores);
+            total += u64::from(n.capacity.cores);
+        }
+        (used, total)
+    }
+
+    /// Memory accounting split the way Fig. 1b reports it:
+    /// `(used, free_on_allocated, free_on_idle)` in MB.
+    pub fn memory_usage(&self) -> (u64, u64, u64) {
+        let mut used = 0;
+        let mut free_alloc = 0;
+        let mut free_idle = 0;
+        for n in &self.nodes {
+            let u = n.used().memory_mb;
+            used += u;
+            if n.is_idle() {
+                free_idle += n.capacity.memory_mb;
+            } else {
+                free_alloc += n.capacity.memory_mb - u;
+            }
+        }
+        (used, free_alloc, free_idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster(n: usize) -> Cluster {
+        Cluster::homogeneous(n, NodeResources::daint_mc())
+    }
+
+    fn excl(nodes: u32, mins: u64, tag: &str) -> JobSpec {
+        JobSpec::exclusive(
+            nodes,
+            NodeResources::daint_mc(),
+            SimTime::from_mins(mins),
+            tag,
+        )
+    }
+
+    #[test]
+    fn fcfs_starts_in_order() {
+        let mut c = small_cluster(4);
+        let a = c.submit(excl(2, 60, "a"), SimTime::from_mins(30), SimTime::ZERO);
+        let b = c.submit(excl(2, 60, "b"), SimTime::from_mins(30), SimTime::ZERO);
+        let (started, _) = c.try_schedule(SimTime::ZERO);
+        assert_eq!(started, vec![a, b]);
+        assert_eq!(c.idle_node_count(), 0);
+    }
+
+    #[test]
+    fn head_blocks_until_space() {
+        let mut c = small_cluster(4);
+        let a = c.submit(excl(3, 60, "a"), SimTime::from_mins(60), SimTime::ZERO);
+        let b = c.submit(excl(2, 60, "b"), SimTime::from_mins(60), SimTime::ZERO);
+        let (started, _) = c.try_schedule(SimTime::ZERO);
+        assert_eq!(started, vec![a]);
+        assert_eq!(c.pending_count(), 1);
+        c.finish(a, SimTime::from_mins(60)).unwrap();
+        let (started, _) = c.try_schedule(SimTime::from_mins(60));
+        assert_eq!(started, vec![b]);
+    }
+
+    #[test]
+    fn backfill_short_job_jumps_queue() {
+        let mut c = small_cluster(4);
+        let a = c.submit(excl(3, 100, "a"), SimTime::from_mins(100), SimTime::ZERO);
+        // Head needs 4 nodes -> waits until `a` ends at t=100min.
+        let head = c.submit(excl(4, 100, "head"), SimTime::from_mins(100), SimTime::ZERO);
+        // Short 1-node job fits in the hole before the shadow time.
+        let short = c.submit(excl(1, 50, "short"), SimTime::from_mins(50), SimTime::ZERO);
+        // Long 1-node job would delay the reservation: no backfill.
+        let long = c.submit(excl(1, 500, "long"), SimTime::from_mins(500), SimTime::ZERO);
+        let (started, _) = c.try_schedule(SimTime::ZERO);
+        assert!(started.contains(&a));
+        assert!(started.contains(&short), "short job backfilled");
+        assert!(!started.contains(&head));
+        assert!(!started.contains(&long), "long job must not delay head");
+    }
+
+    #[test]
+    fn shared_jobs_colocate_on_one_node() {
+        let mut c = small_cluster(1);
+        let half = NodeResources {
+            cores: 18,
+            memory_mb: 32 * 1024,
+            gpus: 0,
+        };
+        let a = c.submit(
+            JobSpec::shared(1, half, SimTime::from_mins(60), "a"),
+            SimTime::from_mins(60),
+            SimTime::ZERO,
+        );
+        let b = c.submit(
+            JobSpec::shared(1, half, SimTime::from_mins(60), "b"),
+            SimTime::from_mins(60),
+            SimTime::ZERO,
+        );
+        let (started, _) = c.try_schedule(SimTime::ZERO);
+        assert_eq!(started, vec![a, b]);
+        let node = c.node(NodeId(0)).unwrap();
+        assert_eq!(node.job_count(), 2);
+        assert_eq!(node.free().cores, 0);
+    }
+
+    #[test]
+    fn exclusive_jobs_never_share() {
+        let mut c = small_cluster(1);
+        let half = NodeResources {
+            cores: 18,
+            memory_mb: 32 * 1024,
+            gpus: 0,
+        };
+        c.submit(
+            JobSpec::exclusive(1, half, SimTime::from_mins(60), "a"),
+            SimTime::from_mins(60),
+            SimTime::ZERO,
+        );
+        c.submit(
+            JobSpec::shared(1, half, SimTime::from_mins(60), "b"),
+            SimTime::from_mins(60),
+            SimTime::ZERO,
+        );
+        let (started, _) = c.try_schedule(SimTime::ZERO);
+        assert_eq!(started.len(), 1, "second job cannot join exclusive node");
+    }
+
+    #[test]
+    fn impossible_jobs_are_cancelled_not_wedged() {
+        let mut c = small_cluster(2);
+        let imp = c.submit(excl(5, 60, "too-big"), SimTime::from_mins(1), SimTime::ZERO);
+        let ok = c.submit(excl(1, 60, "fine"), SimTime::from_mins(1), SimTime::ZERO);
+        let (started, _) = c.try_schedule(SimTime::ZERO);
+        assert_eq!(c.job(imp).unwrap().state, JobState::Cancelled);
+        assert_eq!(started, vec![ok]);
+    }
+
+    #[test]
+    fn finish_errors() {
+        let mut c = small_cluster(1);
+        assert_eq!(
+            c.finish(JobId(99), SimTime::ZERO).unwrap_err(),
+            SchedulerError::UnknownJob
+        );
+        let a = c.submit(excl(1, 5, "a"), SimTime::from_mins(5), SimTime::ZERO);
+        assert_eq!(
+            c.finish(a, SimTime::ZERO).unwrap_err(),
+            SchedulerError::NotRunning
+        );
+    }
+
+    #[test]
+    fn next_completion_uses_actual_runtime() {
+        let mut c = small_cluster(2);
+        let a = c.submit(excl(1, 100, "a"), SimTime::from_mins(30), SimTime::ZERO);
+        let _b = c.submit(excl(1, 100, "b"), SimTime::from_mins(70), SimTime::ZERO);
+        c.try_schedule(SimTime::ZERO);
+        let (when, who) = c.next_completion().unwrap();
+        assert_eq!(who, a);
+        assert_eq!(when, SimTime::from_mins(30));
+    }
+
+    #[test]
+    fn cancel_pending_and_running() {
+        let mut c = small_cluster(1);
+        let a = c.submit(excl(1, 60, "a"), SimTime::from_mins(60), SimTime::ZERO);
+        let b = c.submit(excl(1, 60, "b"), SimTime::from_mins(60), SimTime::ZERO);
+        c.try_schedule(SimTime::ZERO);
+        c.cancel(b, SimTime::from_secs(1)).unwrap();
+        assert_eq!(c.job(b).unwrap().state, JobState::Cancelled);
+        c.cancel(a, SimTime::from_secs(2)).unwrap();
+        assert_eq!(c.job(a).unwrap().state, JobState::Cancelled);
+        assert_eq!(c.idle_node_count(), 1);
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let mut c = small_cluster(2);
+        let half = NodeResources {
+            cores: 18,
+            memory_mb: 32 * 1024,
+            gpus: 0,
+        };
+        c.submit(
+            JobSpec::shared(1, half, SimTime::from_mins(60), "a"),
+            SimTime::from_mins(60),
+            SimTime::ZERO,
+        );
+        c.try_schedule(SimTime::ZERO);
+        let (used, total) = c.core_usage();
+        assert_eq!((used, total), (18, 72));
+        let (mem_used, free_alloc, free_idle) = c.memory_usage();
+        assert_eq!(mem_used, 32 * 1024);
+        assert_eq!(free_alloc, 96 * 1024);
+        assert_eq!(free_idle, 128 * 1024);
+    }
+
+    #[test]
+    fn idle_periods_reported_at_start() {
+        let mut c = small_cluster(1);
+        let a = c.submit(excl(1, 10, "a"), SimTime::from_mins(10), SimTime::from_mins(5));
+        let (_, periods) = c.try_schedule(SimTime::from_mins(5));
+        assert_eq!(periods, vec![SimTime::from_mins(5)]);
+        c.finish(a, SimTime::from_mins(15)).unwrap();
+        c.submit(excl(1, 10, "b"), SimTime::from_mins(10), SimTime::from_mins(18));
+        let (_, periods) = c.try_schedule(SimTime::from_mins(18));
+        assert_eq!(periods, vec![SimTime::from_mins(3)]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests of the batch scheduler: conservation, backfill safety, and
+//! lifecycle invariants under random job streams.
+
+use cluster::{Cluster, JobId, JobSpec, JobState, NodeResources};
+use des::SimTime;
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = (JobSpec, u64)> {
+    (
+        1u32..5,           // nodes
+        1u32..=36,         // cores per node
+        1u64..128 * 1024,  // memory
+        1u64..120,         // walltime minutes
+        any::<bool>(),     // shared
+        1u64..100,         // actual runtime minutes
+    )
+        .prop_map(|(nodes, cores, mem, wall, shared, run)| {
+            let per_node = NodeResources {
+                cores,
+                memory_mb: mem,
+                gpus: 0,
+            };
+            let wall_t = SimTime::from_mins(wall);
+            let spec = if shared {
+                JobSpec::shared(nodes, per_node, wall_t, "p")
+            } else {
+                JobSpec::exclusive(nodes, per_node, wall_t, "p")
+            };
+            (spec, run)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn full_lifecycle_conserves_resources(
+        jobs in prop::collection::vec(arb_spec(), 1..25),
+    ) {
+        let mut c = Cluster::homogeneous(6, NodeResources::daint_mc());
+        let mut submitted: Vec<JobId> = Vec::new();
+        for (i, (spec, run)) in jobs.into_iter().enumerate() {
+            let now = SimTime::from_secs(i as u64 * 30);
+            submitted.push(c.submit(spec, SimTime::from_mins(run), now));
+            c.try_schedule(now);
+            // Nodes never oversubscribed at any point.
+            for node in c.nodes() {
+                let used = node.used();
+                prop_assert!(used.cores <= node.capacity.cores);
+                prop_assert!(used.memory_mb <= node.capacity.memory_mb);
+            }
+            // Retire whatever completes.
+            while let Some((when, id)) = c.next_completion() {
+                if when <= now {
+                    c.finish(id, now).unwrap();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Drain everything.
+        let mut t = SimTime::from_hours(300);
+        loop {
+            c.try_schedule(t);
+            match c.next_completion() {
+                Some((when, id)) => {
+                    t = t.max(when);
+                    c.finish(id, t).unwrap();
+                }
+                None => break,
+            }
+        }
+        // Every node is idle again; every job reached a terminal state.
+        prop_assert_eq!(c.idle_node_count(), 6);
+        for id in submitted {
+            let job = c.job(id).unwrap();
+            prop_assert!(
+                matches!(job.state, JobState::Completed | JobState::Cancelled),
+                "job {:?} ended as {:?}", id, job.state
+            );
+        }
+    }
+
+    #[test]
+    fn started_jobs_get_exactly_requested_nodes(
+        jobs in prop::collection::vec(arb_spec(), 1..15),
+    ) {
+        let mut c = Cluster::homogeneous(8, NodeResources::daint_mc());
+        for (spec, run) in jobs {
+            c.submit(spec, SimTime::from_mins(run), SimTime::ZERO);
+        }
+        let (started, _) = c.try_schedule(SimTime::ZERO);
+        for id in started {
+            let job = c.job(id).unwrap();
+            prop_assert_eq!(job.assigned.len(), job.spec.nodes as usize);
+            // Distinct nodes.
+            let mut nodes = job.assigned.clone();
+            nodes.sort();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), job.spec.nodes as usize);
+        }
+    }
+
+    #[test]
+    fn backfill_never_starves_the_head(
+        small_jobs in prop::collection::vec((1u32..3, 1u64..30), 0..10),
+    ) {
+        let mut c = Cluster::homogeneous(4, NodeResources::daint_mc());
+        // Occupy 3 nodes until t=100min.
+        let blocker = c.submit(
+            JobSpec::exclusive(3, NodeResources::daint_mc(), SimTime::from_mins(100), "b"),
+            SimTime::from_mins(100),
+            SimTime::ZERO,
+        );
+        // Head needs all 4 nodes.
+        let head = c.submit(
+            JobSpec::exclusive(4, NodeResources::daint_mc(), SimTime::from_mins(10), "head"),
+            SimTime::from_mins(10),
+            SimTime::ZERO,
+        );
+        for (nodes, mins) in small_jobs {
+            c.submit(
+                JobSpec::exclusive(nodes, NodeResources::daint_mc(), SimTime::from_mins(mins), "s"),
+                SimTime::from_mins(mins),
+                SimTime::ZERO,
+            );
+        }
+        c.try_schedule(SimTime::ZERO);
+        // Whatever was backfilled, at t=100 the blocker ends and the head
+        // must start no later than the backfill window promised.
+        c.finish(blocker, SimTime::from_mins(100)).unwrap();
+        // Finish any backfilled jobs that are due.
+        while let Some((when, id)) = c.next_completion() {
+            if when <= SimTime::from_mins(100) {
+                c.finish(id, SimTime::from_mins(100)).unwrap();
+            } else {
+                break;
+            }
+        }
+        let (started, _) = c.try_schedule(SimTime::from_mins(100));
+        prop_assert!(
+            started.contains(&head),
+            "head must start exactly at the reservation"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Memory-service functions (Sec. III-C, Fig. 11): a function that pins a
+//! block of idle node memory, exposes it for one-sided RMA, and serves a
+//! batch job's remote-paging traffic. One-sided access keeps CPU overhead
+//! minimal, so many such functions co-locate even with compute-heavy jobs.
+
+use crate::functions::FunctionRequirements;
+use bytes::Bytes;
+use des::SimTime;
+use fabric::{CompletionMode, Fabric, JobToken, MrKey, NodeId, QueuePair, VerbsError};
+use serde::Serialize;
+
+/// A running memory-service function: one pinned region on one node.
+pub struct MemoryServiceFunction {
+    pub node: NodeId,
+    pub region: MrKey,
+    pub size_bytes: usize,
+    pub owner: JobToken,
+}
+
+impl MemoryServiceFunction {
+    /// Deploy: pin `size_bytes` on `node` and register it with the fabric.
+    /// The paper's setup pins 1 GB per function.
+    pub fn deploy(fabric: &mut Fabric, node: NodeId, size_bytes: usize, owner: JobToken) -> Self {
+        let region = fabric.register_buffer(node, size_bytes);
+        MemoryServiceFunction {
+            node,
+            region,
+            size_bytes,
+            owner,
+        }
+    }
+
+    /// CPU + memory the function occupies on its node.
+    pub fn requirements(&self) -> FunctionRequirements {
+        FunctionRequirements {
+            cores: 0.05, // one-sided RMA: the NIC does the work
+            memory_mb: (self.size_bytes / (1 << 20)) as u64,
+            gpus: 0,
+        }
+    }
+
+    /// Tear down: deregister the region, returning the freed bytes.
+    pub fn teardown(self, fabric: &mut Fabric) -> usize {
+        fabric
+            .regions
+            .deregister(self.region)
+            .map(|b| b.len())
+            .unwrap_or(0)
+    }
+}
+
+/// Client-side handle for remote paging over a memory-service function.
+pub struct RemoteMemoryClient {
+    qp: QueuePair,
+    region: MrKey,
+    pub stats: RemoteMemoryStats,
+}
+
+/// Traffic statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RemoteMemoryStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub total_time: SimTime,
+}
+
+impl RemoteMemoryClient {
+    /// Connect a batch job (`client_job` on `client_node`) to a deployed
+    /// memory service. The service owner must grant DRC access first.
+    pub fn connect(
+        fabric: &mut Fabric,
+        service: &MemoryServiceFunction,
+        client_node: NodeId,
+        client_job: JobToken,
+    ) -> Result<(Self, SimTime), VerbsError> {
+        let cred = fabric.drc.allocate(service.owner);
+        fabric
+            .drc
+            .grant(cred, service.owner, client_job)
+            .expect("owner grants its own credential");
+        let (qp, setup) = fabric.connect(
+            client_node,
+            service.node,
+            cred,
+            client_job,
+            CompletionMode::BusyPoll,
+        )?;
+        Ok((
+            RemoteMemoryClient {
+                qp,
+                region: service.region,
+                stats: RemoteMemoryStats::default(),
+            },
+            setup,
+        ))
+    }
+
+    /// Page out: write `data` at `offset` in the remote block.
+    pub fn write(
+        &mut self,
+        fabric: &mut Fabric,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<SimTime, VerbsError> {
+        let t = fabric.rdma_write(&self.qp, self.region, offset, data)?;
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        self.stats.total_time += t;
+        Ok(t)
+    }
+
+    /// Page in: read `len` bytes at `offset`.
+    pub fn read(
+        &mut self,
+        fabric: &mut Fabric,
+        offset: usize,
+        len: usize,
+    ) -> Result<(Bytes, SimTime), VerbsError> {
+        let (data, t) = fabric.rdma_read(&self.qp, self.region, offset, len)?;
+        self.stats.reads += 1;
+        self.stats.bytes_read += len as u64;
+        self.stats.total_time += t;
+        Ok((data, t))
+    }
+
+    /// Achieved bandwidth so far, bytes/s.
+    pub fn achieved_bps(&self) -> f64 {
+        let t = self.stats.total_time.as_secs_f64();
+        if t == 0.0 {
+            return 0.0;
+        }
+        (self.stats.bytes_read + self.stats.bytes_written) as f64 / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric::Transport;
+
+    const GB: usize = 1 << 30;
+    const SERVICE_JOB: JobToken = JobToken(10);
+    const BATCH_JOB: JobToken = JobToken(20);
+
+    fn setup() -> (Fabric, MemoryServiceFunction) {
+        let mut fabric = Fabric::new(Transport::Ugni, 4);
+        // 64 MB region to keep test memory modest; the paper uses 1 GB.
+        let svc = MemoryServiceFunction::deploy(&mut fabric, NodeId(1), 64 << 20, SERVICE_JOB);
+        (fabric, svc)
+    }
+
+    #[test]
+    fn deploy_pins_memory() {
+        let (fabric, svc) = setup();
+        assert_eq!(fabric.regions.pinned_bytes(NodeId(1)), 64 << 20);
+        assert_eq!(svc.requirements().memory_mb, 64);
+        assert!(svc.requirements().cores < 0.1, "one-sided: near-zero CPU");
+    }
+
+    #[test]
+    fn page_out_and_back() {
+        let (mut fabric, svc) = setup();
+        let (mut client, setup_t) =
+            RemoteMemoryClient::connect(&mut fabric, &svc, NodeId(0), BATCH_JOB).unwrap();
+        assert!(setup_t > SimTime::ZERO);
+        let page = vec![0xABu8; 4096];
+        client.write(&mut fabric, 8192, &page).unwrap();
+        let (data, _) = client.read(&mut fabric, 8192, 4096).unwrap();
+        assert_eq!(&data[..], &page[..]);
+        assert_eq!(client.stats.reads, 1);
+        assert_eq!(client.stats.writes, 1);
+        assert_eq!(client.stats.bytes_written, 4096);
+    }
+
+    #[test]
+    fn ten_mb_transfer_time_matches_bandwidth() {
+        // The paper's Fig. 11 experiment: 10 MB reads/writes. At ~10 GB/s a
+        // 10 MB transfer takes ~1 ms.
+        let (mut fabric, svc) = setup();
+        let (mut client, _) =
+            RemoteMemoryClient::connect(&mut fabric, &svc, NodeId(0), BATCH_JOB).unwrap();
+        let chunk = vec![1u8; 10 << 20];
+        let t = client.write(&mut fabric, 0, &chunk).unwrap();
+        let ms = t.as_millis_f64();
+        assert!(ms > 0.5 && ms < 3.0, "10 MB at ~10 GB/s: {ms} ms");
+    }
+
+    #[test]
+    fn sustained_traffic_reaches_gbps() {
+        let (mut fabric, svc) = setup();
+        let (mut client, _) =
+            RemoteMemoryClient::connect(&mut fabric, &svc, NodeId(0), BATCH_JOB).unwrap();
+        let chunk = vec![2u8; 10 << 20];
+        for i in 0..6 {
+            client.write(&mut fabric, i * (10 << 20), &chunk).unwrap();
+        }
+        let gbps = client.achieved_bps() / 1e9;
+        // "supporting remote memory with up to 1GB/s traffic" — and in fact
+        // the fabric sustains several GB/s for large sequential transfers.
+        assert!(gbps > 1.0, "achieved {gbps} GB/s");
+    }
+
+    #[test]
+    fn out_of_bounds_paging_rejected() {
+        let (mut fabric, svc) = setup();
+        let (mut client, _) =
+            RemoteMemoryClient::connect(&mut fabric, &svc, NodeId(0), BATCH_JOB).unwrap();
+        assert!(client.read(&mut fabric, 64 << 20, 1).is_err());
+    }
+
+    #[test]
+    fn teardown_unpins() {
+        let (mut fabric, svc) = setup();
+        let freed = svc.teardown(&mut fabric);
+        assert_eq!(freed, 64 << 20);
+        assert_eq!(fabric.regions.pinned_bytes(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn gb_region_is_the_paper_default() {
+        let mut fabric = Fabric::new(Transport::Ugni, 2);
+        let svc = MemoryServiceFunction::deploy(&mut fabric, NodeId(1), GB, SERVICE_JOB);
+        assert_eq!(svc.requirements().memory_mb, 1024);
+        svc.teardown(&mut fabric);
+    }
+}

@@ -1,0 +1,315 @@
+//! Event queue and simulation engine.
+//!
+//! Events are boxed closures scheduled at a virtual time. Ties are broken by
+//! a monotonically increasing sequence number so execution order is fully
+//! deterministic. Events can be cancelled by id (used e.g. for lease-expiry
+//! timers that are renewed).
+
+use crate::rng::RngStream;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle identifying a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    f: EventFn,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event simulation engine.
+///
+/// Owns the virtual clock, the pending-event queue, and a root RNG from which
+/// deterministic per-component streams are derived (see [`crate::rng`]).
+pub struct Simulation {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    cancelled: HashSet<u64>,
+    seed: u64,
+    executed: u64,
+}
+
+impl Simulation {
+    /// Create a simulation with the given root seed. The seed fully
+    /// determines every random draw made through [`Simulation::stream`].
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            seed,
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Root seed this simulation was created with.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled tombstones).
+    #[inline]
+    pub fn events_pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Derive a named deterministic RNG stream. Streams with different names
+    /// are statistically independent; the same `(seed, name)` pair always
+    /// yields the same sequence regardless of scheduling order.
+    pub fn stream(&self, name: &str) -> RngStream {
+        RngStream::derive(self.seed, name)
+    }
+
+    /// Schedule `f` to run at absolute virtual time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — simulated causality violations are
+    /// always bugs, and silently clamping them hides calibration errors.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: now={} at={}",
+            self.now,
+            at
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+        EventId(seq)
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_after<F>(&mut self, delay: SimTime, f: F) -> EventId
+    where
+        F: FnOnce(&mut Simulation) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule_at(at, f)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending. Cancelling an already-run or already-cancelled event is
+    /// a no-op returning `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.seq {
+            return false;
+        }
+        // We cannot efficiently remove from a BinaryHeap; leave a tombstone.
+        self.cancelled.insert(id.0)
+    }
+
+    /// Run a single event, advancing the clock. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(ev) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event queue time went backwards");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.f)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until the event queue is exhausted.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue is exhausted or virtual time would exceed
+    /// `deadline`; events at exactly `deadline` are executed. Afterwards the
+    /// clock is advanced to `deadline` if the simulation ran dry early, so
+    /// time-weighted statistics cover the full horizon.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            // Peek (skipping tombstones) without executing.
+            let next_at = loop {
+                match self.queue.peek() {
+                    None => break None,
+                    Some(ev) if self.cancelled.contains(&ev.seq) => {
+                        let ev = self.queue.pop().expect("peeked");
+                        self.cancelled.remove(&ev.seq);
+                    }
+                    Some(ev) => break Some(ev.at),
+                }
+            };
+            match next_at {
+                Some(at) if at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run while `pred` holds and events remain.
+    pub fn run_while<P: FnMut(&Simulation) -> bool>(&mut self, mut pred: P) {
+        while pred(self) && self.step() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn executes_in_time_order() {
+        let mut sim = Simulation::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[30u64, 10, 20] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_secs(t), move |sim| {
+                log.borrow_mut().push(sim.now().as_secs_f64() as u64);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim = Simulation::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime::from_secs(7), move |_| {
+                log.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn schedule_after_accumulates() {
+        let mut sim = Simulation::new(1);
+        let hits = Rc::new(RefCell::new(0));
+        let h = Rc::clone(&hits);
+        sim.schedule_after(SimTime::from_millis(1), move |sim| {
+            *h.borrow_mut() += 1;
+            let h2 = Rc::clone(&h);
+            sim.schedule_after(SimTime::from_millis(1), move |_| {
+                *h2.borrow_mut() += 1;
+            });
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Simulation::new(1);
+        let hits = Rc::new(RefCell::new(0));
+        let h = Rc::clone(&hits);
+        let id = sim.schedule_at(SimTime::from_secs(1), move |_| {
+            *h.borrow_mut() += 1;
+        });
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double-cancel is a no-op");
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut sim = Simulation::new(1);
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for &t in &[1u64, 5, 10] {
+            let h = Rc::clone(&hits);
+            sim.schedule_at(SimTime::from_secs(t), move |_| h.borrow_mut().push(t));
+        }
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(*hits.borrow(), vec![1, 5]);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        sim.run_until(SimTime::from_secs(20));
+        assert_eq!(*hits.borrow(), vec![1, 5, 10]);
+        assert_eq!(sim.now(), SimTime::from_secs(20), "clock advances to deadline");
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim = Simulation::new(1);
+        sim.schedule_at(SimTime::from_secs(5), |sim| {
+            sim.schedule_at(SimTime::from_secs(1), |_| {});
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        fn trace(seed: u64) -> Vec<u64> {
+            let mut sim = Simulation::new(seed);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..20 {
+                let log = Rc::clone(&log);
+                let mut rng = sim.stream(&format!("gen{i}"));
+                let t = SimTime::from_nanos(rng.u64_range(0..1000));
+                sim.schedule_at(t, move |sim| log.borrow_mut().push(sim.now().as_nanos()));
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(trace(99), trace(99));
+        assert_ne!(trace(99), trace(100));
+    }
+}

@@ -1,0 +1,145 @@
+//! Ping-pong microbenchmark harness: generates latency distributions for a
+//! transport/completion combination across message sizes, with deterministic
+//! jitter. This produces the two libfabric baseline series of Fig. 7; the
+//! rFaaS hot/warm series are produced by the executor in `crates/core` and
+//! plotted against these.
+
+use crate::loggp::{CompletionMode, LogGpParams};
+use des::{Percentiles, RngStream};
+use serde::Serialize;
+
+/// One (message size → latency distribution) measurement row.
+#[derive(Debug, Serialize)]
+pub struct LatencyRow {
+    pub size_bytes: usize,
+    pub median_us: f64,
+    pub p95_us: f64,
+    pub mean_us: f64,
+}
+
+/// Run `reps` simulated ping-pongs of `size` bytes and collect round-trip
+/// latencies in microseconds.
+pub fn ping_pong(
+    params: &LogGpParams,
+    completion: CompletionMode,
+    size: usize,
+    reps: usize,
+    rng: &mut RngStream,
+) -> Percentiles {
+    let mut p = Percentiles::new();
+    let base = params.round_trip(size, size, completion).as_micros_f64();
+    for _ in 0..reps {
+        // Multiplicative OS/NIC jitter plus a rare straggler (scheduler
+        // preemption) that fattens the p95 — pronounced for event-wait.
+        let mut t = base * rng.jitter(params.jitter_rel_std);
+        let straggler_p = match completion {
+            CompletionMode::BusyPoll => 0.01,
+            CompletionMode::EventWait => 0.06,
+        };
+        if rng.chance(straggler_p) {
+            t += rng.exponential(base * 0.8);
+        }
+        p.push(t);
+    }
+    p
+}
+
+/// Sweep message sizes and produce the measurement table.
+pub fn latency_sweep(
+    params: &LogGpParams,
+    completion: CompletionMode,
+    sizes: &[usize],
+    reps: usize,
+    rng: &mut RngStream,
+) -> Vec<LatencyRow> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let mut p = ping_pong(params, completion, size, reps, rng);
+            LatencyRow {
+                size_bytes: size,
+                median_us: p.median(),
+                p95_us: p.p95(),
+                mean_us: p.mean(),
+            }
+        })
+        .collect()
+}
+
+/// The message sizes of Fig. 7: 1 B .. 4 KiB in powers of two.
+pub fn fig7_sizes() -> Vec<usize> {
+    (0..=12).map(|i| 1usize << i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loggp::LogGpParams;
+
+    #[test]
+    fn fig7_sizes_are_powers_of_two_up_to_4k() {
+        let s = fig7_sizes();
+        assert_eq!(s.first(), Some(&1));
+        assert_eq!(s.last(), Some(&4096));
+        assert_eq!(s.len(), 13);
+    }
+
+    #[test]
+    fn median_close_to_model() {
+        let p = LogGpParams::ugni();
+        let mut rng = RngStream::from_seed(7);
+        let mut dist = ping_pong(&p, CompletionMode::BusyPoll, 64, 2000, &mut rng);
+        let model = p
+            .round_trip(64, 64, CompletionMode::BusyPoll)
+            .as_micros_f64();
+        let med = dist.median();
+        assert!((med - model).abs() / model < 0.05, "median={med} model={model}");
+    }
+
+    #[test]
+    fn p95_above_median() {
+        let p = LogGpParams::ugni();
+        let mut rng = RngStream::from_seed(7);
+        for completion in [CompletionMode::BusyPoll, CompletionMode::EventWait] {
+            let mut dist = ping_pong(&p, completion, 1024, 2000, &mut rng);
+            assert!(dist.p95() > dist.median());
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_size() {
+        let p = LogGpParams::ugni();
+        let mut rng = RngStream::from_seed(3);
+        let rows = latency_sweep(&p, CompletionMode::BusyPoll, &fig7_sizes(), 500, &mut rng);
+        for w in rows.windows(2) {
+            // Jitter can wiggle adjacent medians slightly; allow 3%.
+            assert!(w[1].median_us > w[0].median_us * 0.97);
+        }
+    }
+
+    #[test]
+    fn event_wait_sweep_slower_than_busy_poll() {
+        let p = LogGpParams::ugni();
+        let mut r1 = RngStream::from_seed(3);
+        let mut r2 = RngStream::from_seed(3);
+        let busy = latency_sweep(&p, CompletionMode::BusyPoll, &fig7_sizes(), 300, &mut r1);
+        let wait = latency_sweep(&p, CompletionMode::EventWait, &fig7_sizes(), 300, &mut r2);
+        for (b, w) in busy.iter().zip(&wait) {
+            assert!(w.median_us > b.median_us + 5.0, "wakeup penalty visible at {}B", b.size_bytes);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = LogGpParams::ugni();
+        let run = |seed| {
+            let mut rng = RngStream::from_seed(seed);
+            latency_sweep(&p, CompletionMode::BusyPoll, &[64, 1024], 200, &mut rng)
+                .iter()
+                .map(|r| r.median_us)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

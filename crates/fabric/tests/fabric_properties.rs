@@ -1,0 +1,97 @@
+//! Property tests of the fabric: region-table safety, DRC authority, and
+//! cost-model sanity under arbitrary operation sequences.
+
+use fabric::{AccessFlags, CompletionMode, DrcManager, JobToken, LogGpParams, NodeId, RegionTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn region_reads_never_exceed_bounds(
+        size in 1usize..4096,
+        offset in 0usize..8192,
+        len in 0usize..8192,
+    ) {
+        let mut t = RegionTable::new();
+        let key = t.register(NodeId(0), size, AccessFlags::all());
+        match t.remote_read(key, offset, len) {
+            Ok(data) => {
+                prop_assert!(offset + len <= size);
+                prop_assert_eq!(data.len(), len);
+            }
+            Err(_) => prop_assert!(offset.checked_add(len).map_or(true, |end| end > size)),
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip_any_offset(
+        size in 64usize..4096,
+        offset in 0usize..4096,
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let mut t = RegionTable::new();
+        let key = t.register(NodeId(0), size, AccessFlags::all());
+        if offset + payload.len() <= size {
+            t.remote_write(key, offset, &payload).unwrap();
+            let back = t.remote_read(key, offset, payload.len()).unwrap();
+            prop_assert_eq!(&back[..], &payload[..]);
+        } else {
+            prop_assert!(t.remote_write(key, offset, &payload).is_err());
+        }
+    }
+
+    #[test]
+    fn pinned_accounting_balances(
+        sizes in prop::collection::vec(1usize..10_000, 1..20),
+    ) {
+        let mut t = RegionTable::new();
+        let keys: Vec<_> = sizes.iter().map(|&s| t.register(NodeId(3), s, AccessFlags::all())).collect();
+        prop_assert_eq!(t.pinned_bytes(NodeId(3)), sizes.iter().sum::<usize>());
+        for k in keys {
+            t.deregister(k).unwrap();
+        }
+        prop_assert_eq!(t.pinned_bytes(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn drc_only_granted_jobs_validate(
+        owner in 0u64..50,
+        grantees in prop::collection::vec(0u64..50, 0..10),
+        probe in 0u64..50,
+    ) {
+        let mut drc = DrcManager::new();
+        let owner = JobToken(owner);
+        let cred = drc.allocate(owner);
+        for g in &grantees {
+            drc.grant(cred, owner, JobToken(*g)).unwrap();
+        }
+        let probe_token = JobToken(probe);
+        let should_pass = probe_token == owner || grantees.contains(&probe);
+        prop_assert_eq!(drc.validate(cred, probe_token).is_ok(), should_pass);
+    }
+
+    #[test]
+    fn loggp_round_trip_is_sum_of_one_ways(
+        out in 0usize..1 << 20,
+        inn in 0usize..1 << 20,
+    ) {
+        let p = LogGpParams::ugni();
+        for mode in [CompletionMode::BusyPoll, CompletionMode::EventWait] {
+            let rt = p.round_trip(out, inn, mode);
+            let sum = p.one_way(out, mode) + p.one_way(inn, mode);
+            prop_assert_eq!(rt, sum);
+        }
+    }
+
+    #[test]
+    fn fair_share_conserves_link_capacity(flows in 1usize..20) {
+        // All flows from one source: shares sum to exactly the link rate.
+        let mut net = fabric::Network::new(10e9, 1e12);
+        let ids: Vec<_> = (0..flows)
+            .map(|i| net.open_flow(NodeId(0), NodeId(1 + i as u32)))
+            .collect();
+        let total: f64 = ids.iter().map(|f| net.fair_share_bps(*f)).sum();
+        prop_assert!((total - 10e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Collective operations built on point-to-point messaging.
+//!
+//! Every collective allocates a fresh tag from the reserved space using the
+//! communicator's collective sequence counter — all ranks execute collectives
+//! in the same order (SPMD), so counters agree without negotiation.
+//! Tree-based algorithms (binomial broadcast/reduce, recursive-doubling
+//! barrier) keep the critical path logarithmic, as a real MPI would.
+
+use crate::comm::{Comm, RESERVED_TAG_BASE};
+
+impl Comm {
+    fn next_coll_tag(&mut self) -> u64 {
+        self.coll_seq += 1;
+        RESERVED_TAG_BASE + self.coll_seq
+    }
+
+    /// Dissemination barrier: log2(n) rounds.
+    pub fn barrier(&mut self) {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        let me = self.rank();
+        let mut round = 1usize;
+        while round < n {
+            let to = (me + round) % n;
+            let from = (me + n - round) % n;
+            let round_tag = tag + ((round as u64) << 20);
+            self.send_raw(to, round_tag, ());
+            self.recv_raw::<()>(from, round_tag)
+                .expect("barrier partner alive");
+            round *= 2;
+        }
+    }
+
+    /// Binomial-tree broadcast from `root`. Every rank passes its (possibly
+    /// `None`) value; the root's value is returned everywhere.
+    pub fn bcast<T: Clone + Send + 'static>(&mut self, root: usize, value: Option<T>) -> T {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        // Re-index so the root is virtual rank 0.
+        let vrank = (self.rank() + n - root) % n;
+        let mut val: Option<T> = if vrank == 0 {
+            Some(value.expect("root must provide a value"))
+        } else {
+            None
+        };
+        // Highest power of two ≥ n.
+        let mut mask = 1usize;
+        while mask < n {
+            mask <<= 1;
+        }
+        // Receive phase: find the lowest set bit of vrank.
+        if vrank != 0 {
+            let lsb = vrank & vrank.wrapping_neg();
+            let parent = (vrank - lsb + root) % n;
+            val = Some(self.recv_raw::<T>(parent, tag).expect("bcast parent alive"));
+        }
+        // Send phase: children are vrank + 2^k for 2^k below lsb (or below
+        // mask for the root).
+        let lsb = if vrank == 0 { mask } else { vrank & vrank.wrapping_neg() };
+        let v = val.expect("value present after receive phase");
+        let mut k = lsb >> 1;
+        while k > 0 {
+            let child_v = vrank + k;
+            if child_v < n {
+                let child = (child_v + root) % n;
+                self.send_raw(child, tag, v.clone());
+            }
+            k >>= 1;
+        }
+        v
+    }
+
+    /// Binomial-tree reduction to `root` with associative `op`.
+    /// Returns `Some(result)` on the root, `None` elsewhere.
+    pub fn reduce<T, F>(&mut self, root: usize, value: T, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        let vrank = (self.rank() + n - root) % n;
+        let mut acc = value;
+        let mut k = 1usize;
+        // Mirror of the broadcast tree: absorb children, then send to parent.
+        while k < n {
+            if vrank & k == 0 {
+                let child_v = vrank + k;
+                if child_v < n {
+                    let child = (child_v + root) % n;
+                    let theirs = self.recv_raw::<T>(child, tag).expect("reduce child alive");
+                    acc = op(acc, theirs);
+                }
+            } else {
+                let parent_v = vrank - k;
+                let parent = (parent_v + root) % n;
+                self.send_raw(parent, tag, acc);
+                return None;
+            }
+            k <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Allreduce = reduce to 0 + broadcast.
+    pub fn allreduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op);
+        self.bcast(0, reduced)
+    }
+
+    /// Gather all values to `root`, ordered by rank.
+    pub fn gather<T: Send + 'static>(&mut self, root: usize, value: T) -> Option<Vec<T>> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let n = self.size();
+            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            slots[root] = Some(value);
+            for src in 0..n {
+                if src != root {
+                    slots[src] = Some(self.recv_raw::<T>(src, tag).expect("gather src alive"));
+                }
+            }
+            Some(slots.into_iter().map(|s| s.expect("filled")).collect())
+        } else {
+            self.send_raw(root, tag, value);
+            None
+        }
+    }
+
+    /// Allgather = gather to 0 + broadcast of the vector.
+    pub fn allgather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.bcast(0, gathered)
+    }
+
+    /// Scatter `values` (only meaningful on the root) so rank i gets
+    /// `values[i]`.
+    pub fn scatter<T: Send + 'static>(&mut self, root: usize, values: Option<Vec<T>>) -> T {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut values = values.expect("root must provide values");
+            assert_eq!(values.len(), self.size(), "one value per rank");
+            // Send in reverse so removal by index stays correct.
+            let mut mine: Option<T> = None;
+            for (dst, v) in values.drain(..).enumerate().rev().collect::<Vec<_>>() {
+                if dst == root {
+                    mine = Some(v);
+                } else {
+                    self.send_raw(dst, tag, v);
+                }
+            }
+            mine.expect("root slot present")
+        } else {
+            self.recv_raw::<T>(root, tag).expect("scatter root alive")
+        }
+    }
+
+    /// Personalised all-to-all: element `i` of the input goes to rank `i`;
+    /// the result's element `j` came from rank `j`.
+    pub fn alltoall<T: Send + 'static>(&mut self, mut values: Vec<T>) -> Vec<T> {
+        let tag = self.next_coll_tag();
+        let n = self.size();
+        assert_eq!(values.len(), n, "one value per destination");
+        let me = self.rank();
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (dst, v) in values.drain(..).enumerate().rev().collect::<Vec<_>>() {
+            if dst == me {
+                out[me] = Some(v);
+            } else {
+                self.send_raw(dst, tag, v);
+            }
+        }
+        for src in 0..n {
+            if src != me {
+                out[src] = Some(self.recv_raw::<T>(src, tag).expect("alltoall src alive"));
+            }
+        }
+        out.into_iter().map(|s| s.expect("filled")).collect()
+    }
+
+    /// Inclusive prefix scan: rank i receives `op(v0, ..., vi)`.
+    /// Linear pipeline (the prefix-scan pattern of the paper's image
+    /// registration example).
+    pub fn scan<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        let me = self.rank();
+        let acc = if me == 0 {
+            value
+        } else {
+            let prev = self.recv_raw::<T>(me - 1, tag).expect("scan predecessor");
+            op(prev, value)
+        };
+        if me + 1 < self.size() {
+            self.send_raw(me + 1, tag, acc.clone());
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::World;
+
+    #[test]
+    fn barrier_completes_at_many_sizes() {
+        for n in [1usize, 2, 3, 4, 7, 8, 16] {
+            World::run(n, |comm| {
+                for _ in 0..3 {
+                    comm.barrier();
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for n in [1usize, 2, 3, 5, 8] {
+            for root in 0..n {
+                let out = World::run(n, |comm| {
+                    let v = if comm.rank() == root {
+                        Some(root * 100 + 7)
+                    } else {
+                        None
+                    };
+                    comm.bcast(root, v)
+                });
+                assert_eq!(out, vec![root * 100 + 7; n], "n={n} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_matches_serial() {
+        for n in [1usize, 2, 3, 6, 9, 16] {
+            let out = World::run(n, |comm| comm.reduce(0, comm.rank() as u64 + 1, |a, b| a + b));
+            let expect = (n * (n + 1) / 2) as u64;
+            assert_eq!(out[0], Some(expect), "n={n}");
+            for r in &out[1..] {
+                assert_eq!(*r, None);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let out = World::run(7, |comm| comm.allreduce(comm.rank() as i64 * 3, i64::max));
+        assert_eq!(out, vec![18; 7]);
+    }
+
+    #[test]
+    fn gather_ordered_by_rank() {
+        let out = World::run(5, |comm| comm.gather(2, format!("r{}", comm.rank())));
+        assert_eq!(
+            out[2].as_ref().unwrap(),
+            &vec!["r0", "r1", "r2", "r3", "r4"]
+        );
+        assert!(out[0].is_none());
+    }
+
+    #[test]
+    fn allgather_everywhere() {
+        let out = World::run(4, |comm| comm.allgather(comm.rank() as u32));
+        for v in out {
+            assert_eq!(v, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes() {
+        let out = World::run(4, |comm| {
+            let vals = if comm.rank() == 1 {
+                Some(vec![10, 11, 12, 13])
+            } else {
+                None
+            };
+            comm.scatter(1, vals)
+        });
+        assert_eq!(out, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn alltoall_transpose() {
+        let n = 4;
+        let out = World::run(n, |comm| {
+            let me = comm.rank();
+            let vals: Vec<(usize, usize)> = (0..n).map(|dst| (me, dst)).collect();
+            comm.alltoall(vals)
+        });
+        for (me, row) in out.iter().enumerate() {
+            for (src, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, (src, me));
+            }
+        }
+    }
+
+    #[test]
+    fn scan_prefix_sums() {
+        let out = World::run(6, |comm| comm.scan(comm.rank() as u64 + 1, |a, b| a + b));
+        assert_eq!(out, vec![1, 3, 6, 10, 15, 21]);
+    }
+
+    #[test]
+    fn collectives_compose_without_crosstalk() {
+        let out = World::run(4, |comm| {
+            let a = comm.allreduce(1u64, |x, y| x + y);
+            comm.barrier();
+            let b = comm.allgather(comm.rank());
+            let c = comm.scan(1u64, |x, y| x + y);
+            (a, b, c)
+        });
+        for (rank, (a, b, c)) in out.iter().enumerate() {
+            assert_eq!(*a, 4);
+            assert_eq!(*b, vec![0, 1, 2, 3]);
+            assert_eq!(*c, rank as u64 + 1);
+        }
+    }
+}

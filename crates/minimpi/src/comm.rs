@@ -1,0 +1,309 @@
+//! Communicator and point-to-point messaging.
+//!
+//! Each rank owns a receive queue (crossbeam channel) and a shared table of
+//! senders. Messages carry `(src, tag, payload)`; `recv` matches on both and
+//! buffers out-of-order arrivals, so MPI-style tag matching works.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// Tags below this are available to applications; collectives use the space
+/// above it.
+pub(crate) const RESERVED_TAG_BASE: u64 = 1 << 48;
+
+pub(crate) struct Envelope {
+    pub src: usize,
+    pub tag: u64,
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Errors from receiving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// The payload's type did not match the requested type.
+    TypeMismatch,
+    /// All senders disconnected while waiting.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::TypeMismatch => write!(f, "received payload of unexpected type"),
+            RecvError::Disconnected => write!(f, "communicator disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Per-rank communicator handle. Not `Sync`: each rank thread owns its own.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    rx: Receiver<Envelope>,
+    /// Out-of-order messages awaiting a matching `recv`.
+    stash: VecDeque<Envelope>,
+    /// Collective sequence number — all ranks execute collectives in the
+    /// same order (SPMD), so equal counters address the same operation.
+    pub(crate) coll_seq: u64,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        senders: Arc<Vec<Sender<Envelope>>>,
+        rx: Receiver<Envelope>,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            senders,
+            rx,
+            stash: VecDeque::new(),
+            coll_seq: 0,
+        }
+    }
+
+    /// This rank's index in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `value` to `dst` with `tag`. Asynchronous (buffered): never
+    /// blocks.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or `tag` is in the reserved range.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        self.send_raw(dst, tag, value);
+    }
+
+    pub(crate) fn send_raw<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+        assert!(dst < self.size, "rank {dst} out of range (size {})", self.size);
+        // A send to a finished rank is a no-op rather than a panic: during
+        // teardown of elastic pools late messages are harmless.
+        let _ = self.senders[dst].send(Envelope {
+            src: self.rank,
+            tag,
+            payload: Box::new(value),
+        });
+    }
+
+    /// Blocking receive of a `T` from `src` with `tag`. Messages from other
+    /// (src, tag) pairs arriving in between are stashed for later receives.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize, tag: u64) -> Result<T, RecvError> {
+        assert!(tag < RESERVED_TAG_BASE, "tag {tag} is reserved");
+        self.recv_raw(src, tag)
+    }
+
+    pub(crate) fn recv_raw<T: Send + 'static>(
+        &mut self,
+        src: usize,
+        tag: u64,
+    ) -> Result<T, RecvError> {
+        // Check the stash first.
+        if let Some(pos) = self.stash.iter().position(|e| e.src == src && e.tag == tag) {
+            let env = self.stash.remove(pos).expect("position valid");
+            return env
+                .payload
+                .downcast::<T>()
+                .map(|b| *b)
+                .map_err(|_| RecvError::TypeMismatch);
+        }
+        loop {
+            let env = self.rx.recv().map_err(|_| RecvError::Disconnected)?;
+            if env.src == src && env.tag == tag {
+                return env
+                    .payload
+                    .downcast::<T>()
+                    .map(|b| *b)
+                    .map_err(|_| RecvError::TypeMismatch);
+            }
+            self.stash.push_back(env);
+        }
+    }
+
+    /// Receive from any source with `tag`; returns `(src, value)`.
+    pub fn recv_any<T: Send + 'static>(&mut self, tag: u64) -> Result<(usize, T), RecvError> {
+        if let Some(pos) = self.stash.iter().position(|e| e.tag == tag) {
+            let env = self.stash.remove(pos).expect("position valid");
+            let src = env.src;
+            return env
+                .payload
+                .downcast::<T>()
+                .map(|b| (src, *b))
+                .map_err(|_| RecvError::TypeMismatch);
+        }
+        loop {
+            let env = self.rx.recv().map_err(|_| RecvError::Disconnected)?;
+            if env.tag == tag {
+                let src = env.src;
+                return env
+                    .payload
+                    .downcast::<T>()
+                    .map(|b| (src, *b))
+                    .map_err(|_| RecvError::TypeMismatch);
+            }
+            self.stash.push_back(env);
+        }
+    }
+}
+
+/// SPMD launcher: run `size` ranks as scoped threads.
+pub struct World;
+
+impl World {
+    /// Run `f` on `size` ranks; returns each rank's result, ordered by rank.
+    pub fn run<F, R>(size: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Comm) -> R + Sync,
+        R: Send,
+    {
+        assert!(size > 0, "world needs at least one rank");
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let f = &f;
+
+        let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let senders = Arc::clone(&senders);
+                    scope.spawn(move || {
+                        let mut comm = Comm::new(rank, size, senders, rx);
+                        f(&mut comm)
+                    })
+                })
+                .collect();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(r) => results[rank] = Some(r),
+                    // Propagate the original payload so callers (and tests)
+                    // see the rank's own panic message.
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+        results.into_iter().map(|r| r.expect("joined")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        let n = 8;
+        let out = World::run(n, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 1, comm.rank() as u64);
+            comm.recv::<u64>(prev, 1).unwrap()
+        });
+        for (rank, got) in out.iter().enumerate() {
+            let prev = ((rank + n - 1) % n) as u64;
+            assert_eq!(*got, prev);
+        }
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, "first".to_string());
+                comm.send(1, 20, "second".to_string());
+                String::new()
+            } else {
+                // Receive in the opposite order of sending.
+                let b = comm.recv::<String>(0, 20).unwrap();
+                let a = comm.recv::<String>(0, 10).unwrap();
+                format!("{a}-{b}")
+            }
+        });
+        assert_eq!(out[1], "first-second");
+    }
+
+    #[test]
+    fn recv_any_collects_from_all() {
+        let out = World::run(5, |comm| {
+            if comm.rank() == 0 {
+                let mut sum = 0u64;
+                for _ in 1..comm.size() {
+                    let (_, v) = comm.recv_any::<u64>(7).unwrap();
+                    sum += v;
+                }
+                sum
+            } else {
+                comm.send(0, 7, comm.rank() as u64);
+                0
+            }
+        });
+        assert_eq!(out[0], 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 42u32);
+                true
+            } else {
+                comm.recv::<String>(0, 1) == Err(RecvError::TypeMismatch)
+            }
+        });
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn large_payload_roundtrip() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, vec![1.5f64; 1_000_000]);
+                0.0
+            } else {
+                let v = comm.recv::<Vec<f64>>(0, 3).unwrap();
+                v.iter().sum::<f64>()
+            }
+        });
+        assert_eq!(out[1], 1_500_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_out_of_range_panics() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(5, 1, ());
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn reserved_tag_rejected() {
+        World::run(1, |comm| {
+            comm.send(0, RESERVED_TAG_BASE + 1, ());
+        });
+    }
+}

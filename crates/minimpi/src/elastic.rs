@@ -1,0 +1,263 @@
+//! Elastic (FaaS-like) MPI processes — Sec. IV-F:
+//!
+//! > "An HPC function can also implement the same computation and
+//! > communication logic as an MPI process. These can be allocated with lower
+//! > provisioning latency than through a batch system [...] New MPI ranks can
+//! > be scheduled as functions without going through the batch system."
+//!
+//! [`ElasticPool`] is a coordinator that spawns worker ranks on demand (as
+//! rFaaS would lease executors), dispatches tasks to them, and drains them
+//! gracefully when the resources are reclaimed — the adaptive-MPI behaviour
+//! the paper builds on, without restarting or reconfiguring the application.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+enum WorkerMsg<T> {
+    Task(u64, T),
+    Drain,
+}
+
+/// Result message from a worker.
+struct Completed<R> {
+    task_id: u64,
+    worker: usize,
+    result: R,
+}
+
+/// Handle to one elastic worker rank.
+pub struct WorkerHandle {
+    pub id: usize,
+    alive: bool,
+}
+
+/// A dynamically sized pool of worker "ranks".
+///
+/// Unlike a batch job, workers join in milliseconds and leave without
+/// disturbing the others — the `grow`/`drain_worker` pair mirrors the rFaaS
+/// lease grant/cancel flow.
+pub struct ElasticPool<T: Send + 'static, R: Send + 'static> {
+    task_txs: Vec<Option<Sender<WorkerMsg<T>>>>,
+    result_rx: Receiver<Completed<R>>,
+    result_tx: Sender<Completed<R>>,
+    threads: Vec<Option<JoinHandle<()>>>,
+    work: std::sync::Arc<dyn Fn(usize, T) -> R + Send + Sync>,
+    next_task: u64,
+    in_flight: u64,
+}
+
+impl<T: Send + 'static, R: Send + 'static> ElasticPool<T, R> {
+    /// Create an empty pool around the worker body `work(worker_id, task)`.
+    pub fn new<F>(work: F) -> Self
+    where
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        let (result_tx, result_rx) = unbounded();
+        ElasticPool {
+            task_txs: Vec::new(),
+            result_rx,
+            result_tx,
+            threads: Vec::new(),
+            work: std::sync::Arc::new(work),
+            next_task: 0,
+            in_flight: 0,
+        }
+    }
+
+    /// Number of live workers.
+    pub fn workers(&self) -> usize {
+        self.task_txs.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Tasks dispatched but not yet collected.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Add one worker (a new "MPI rank" provisioned serverlessly).
+    pub fn grow(&mut self) -> WorkerHandle {
+        let id = self.task_txs.len();
+        let (task_tx, task_rx) = unbounded::<WorkerMsg<T>>();
+        let result_tx = self.result_tx.clone();
+        let work = std::sync::Arc::clone(&self.work);
+        let handle = std::thread::spawn(move || {
+            while let Ok(msg) = task_rx.recv() {
+                match msg {
+                    WorkerMsg::Task(task_id, t) => {
+                        let result = work(id, t);
+                        if result_tx
+                            .send(Completed {
+                                task_id,
+                                worker: id,
+                                result,
+                            })
+                            .is_err()
+                        {
+                            break; // pool dropped
+                        }
+                    }
+                    WorkerMsg::Drain => break,
+                }
+            }
+        });
+        self.task_txs.push(Some(task_tx));
+        self.threads.push(Some(handle));
+        WorkerHandle { id, alive: true }
+    }
+
+    /// Submit a task to a specific worker; returns the task id.
+    ///
+    /// # Panics
+    /// Panics if the worker has been drained.
+    pub fn submit_to(&mut self, worker: usize, task: T) -> u64 {
+        let tx = self.task_txs[worker]
+            .as_ref()
+            .expect("worker already drained");
+        self.next_task += 1;
+        let id = self.next_task;
+        tx.send(WorkerMsg::Task(id, task)).expect("worker alive");
+        self.in_flight += 1;
+        id
+    }
+
+    /// Submit to the worker with the lowest index that is alive
+    /// (round-robin-free simple placement; callers needing balance keep
+    /// their own counters).
+    pub fn submit(&mut self, task: T) -> u64 {
+        let worker = self
+            .task_txs
+            .iter()
+            .position(|t| t.is_some())
+            .expect("pool has no workers");
+        self.submit_to(worker, task)
+    }
+
+    /// Block for the next completed task: `(task_id, worker_id, result)`.
+    pub fn next_result(&mut self) -> (u64, usize, R) {
+        let c = self.result_rx.recv().expect("workers alive or queue nonempty");
+        self.in_flight -= 1;
+        (c.task_id, c.worker, c.result)
+    }
+
+    /// Gracefully drain one worker: it finishes queued tasks, then exits —
+    /// the lease-cancellation path ("active invocations are allowed to
+    /// finish, but no further invocations will be granted").
+    pub fn drain_worker(&mut self, handle: &mut WorkerHandle) {
+        if !handle.alive {
+            return;
+        }
+        if let Some(tx) = self.task_txs[handle.id].take() {
+            let _ = tx.send(WorkerMsg::Drain);
+        }
+        if let Some(t) = self.threads[handle.id].take() {
+            t.join().expect("worker exits cleanly");
+        }
+        handle.alive = false;
+    }
+
+    /// Drain everything and collect any uncollected results.
+    pub fn shutdown(mut self) -> Vec<(u64, R)> {
+        for tx in self.task_txs.iter_mut() {
+            if let Some(tx) = tx.take() {
+                let _ = tx.send(WorkerMsg::Drain);
+            }
+        }
+        for t in self.threads.iter_mut() {
+            if let Some(t) = t.take() {
+                t.join().expect("worker exits cleanly");
+            }
+        }
+        let mut out = Vec::new();
+        while let Ok(c) = self.result_rx.try_recv() {
+            out.push((c.task_id, c.result));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_submit_collect() {
+        let mut pool: ElasticPool<u64, u64> = ElasticPool::new(|_, x| x * x);
+        let _w0 = pool.grow();
+        let _w1 = pool.grow();
+        assert_eq!(pool.workers(), 2);
+        let mut ids = Vec::new();
+        for x in 1..=10u64 {
+            ids.push(pool.submit_to((x % 2) as usize, x));
+        }
+        let mut sum = 0;
+        for _ in 0..10 {
+            let (_, _, r) = pool.next_result();
+            sum += r;
+        }
+        assert_eq!(sum, (1..=10u64).map(|x| x * x).sum::<u64>());
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn drain_finishes_queued_work_then_stops() {
+        let mut pool: ElasticPool<u64, u64> = ElasticPool::new(|_, x| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            x + 1
+        });
+        let mut w = pool.grow();
+        for x in 0..5 {
+            pool.submit_to(w.id, x);
+        }
+        pool.drain_worker(&mut w); // waits for the 5 queued tasks
+        let mut results = Vec::new();
+        for _ in 0..5 {
+            results.push(pool.next_result().2);
+        }
+        results.sort_unstable();
+        assert_eq!(results, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already drained")]
+    fn submit_to_drained_worker_panics() {
+        let mut pool: ElasticPool<u64, u64> = ElasticPool::new(|_, x| x);
+        let mut w = pool.grow();
+        pool.drain_worker(&mut w);
+        pool.submit_to(w.id, 1);
+    }
+
+    #[test]
+    fn pool_grows_while_running() {
+        let mut pool: ElasticPool<u64, usize> = ElasticPool::new(|worker, _| worker);
+        let _w0 = pool.grow();
+        pool.submit(0);
+        let (_, _, first_worker) = pool.next_result();
+        assert_eq!(first_worker, 0);
+        // "rescale by adding processes on the fly"
+        let w1 = pool.grow();
+        pool.submit_to(w1.id, 0);
+        let (_, _, second_worker) = pool.next_result();
+        assert_eq!(second_worker, 1);
+    }
+
+    #[test]
+    fn shutdown_collects_stragglers() {
+        let mut pool: ElasticPool<u64, u64> = ElasticPool::new(|_, x| x * 10);
+        pool.grow();
+        pool.submit(1);
+        pool.submit(2);
+        // Give workers a moment to finish, then shut down without collecting.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let leftovers = pool.shutdown();
+        assert_eq!(leftovers.len(), 2);
+    }
+
+    #[test]
+    fn double_drain_is_noop() {
+        let mut pool: ElasticPool<(), ()> = ElasticPool::new(|_, ()| ());
+        let mut w = pool.grow();
+        pool.drain_worker(&mut w);
+        pool.drain_worker(&mut w);
+        assert_eq!(pool.workers(), 0);
+    }
+}

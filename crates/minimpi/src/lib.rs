@@ -1,0 +1,25 @@
+//! # minimpi — an in-process MPI-like runtime
+//!
+//! Stands in for Cray MPICH / OpenMPI in the reproduction: SPMD programs run
+//! their ranks as threads inside one process, communicating through typed
+//! point-to-point messages and collectives. The [`elastic`] module implements
+//! the paper's "MPI functions" idea (Sec. IV-F): worker ranks that can be
+//! added and drained on the fly, the way rFaaS allocates executors, without
+//! restarting the application.
+//!
+//! ```
+//! use minimpi::World;
+//!
+//! let sums = World::run(4, |comm| {
+//!     let mine = (comm.rank() + 1) as f64;
+//!     comm.allreduce(mine, |a, b| a + b)
+//! });
+//! assert_eq!(sums, vec![10.0; 4]);
+//! ```
+
+pub mod collectives;
+pub mod comm;
+pub mod elastic;
+
+pub use comm::{Comm, RecvError, World};
+pub use elastic::{ElasticPool, WorkerHandle};

@@ -1,0 +1,92 @@
+//! Property-based tests of the collectives: every operation must agree with
+//! its serial specification for arbitrary rank counts, roots, and values.
+
+use minimpi::World;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bcast_delivers_root_value(n in 1usize..10, root_sel in 0usize..10, value in any::<i64>()) {
+        let root = root_sel % n;
+        let out = World::run(n, move |comm| {
+            let v = (comm.rank() == root).then_some(value);
+            comm.bcast(root, v)
+        });
+        prop_assert_eq!(out, vec![value; n]);
+    }
+
+    #[test]
+    fn reduce_matches_serial_fold(values in prop::collection::vec(-1000i64..1000, 1..10)) {
+        let n = values.len();
+        let expect: i64 = values.iter().sum();
+        let vals = values.clone();
+        let out = World::run(n, move |comm| comm.reduce(0, vals[comm.rank()], |a, b| a + b));
+        prop_assert_eq!(out[0], Some(expect));
+    }
+
+    #[test]
+    fn scan_matches_prefix_sums(values in prop::collection::vec(-1000i64..1000, 1..10)) {
+        let n = values.len();
+        let vals = values.clone();
+        let out = World::run(n, move |comm| comm.scan(vals[comm.rank()], |a, b| a + b));
+        let mut acc = 0;
+        for (i, got) in out.iter().enumerate() {
+            acc += values[i];
+            prop_assert_eq!(*got, acc);
+        }
+    }
+
+    #[test]
+    fn allgather_is_rank_ordered(n in 1usize..10, seed in any::<u64>()) {
+        let out = World::run(n, move |comm| {
+            comm.allgather(seed.wrapping_add(comm.rank() as u64))
+        });
+        for v in out {
+            let expect: Vec<u64> = (0..n).map(|r| seed.wrapping_add(r as u64)).collect();
+            prop_assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn alltoall_is_a_transpose(n in 1usize..8) {
+        let out = World::run(n, move |comm| {
+            let me = comm.rank();
+            comm.alltoall((0..n).map(|dst| me * 100 + dst).collect())
+        });
+        for (me, row) in out.iter().enumerate() {
+            for (src, cell) in row.iter().enumerate() {
+                prop_assert_eq!(*cell, src * 100 + me);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_routes_by_rank(n in 1usize..10, root_sel in 0usize..10) {
+        let root = root_sel % n;
+        let out = World::run(n, move |comm| {
+            let vals = (comm.rank() == root).then(|| (0..n as i64).collect::<Vec<_>>());
+            comm.scatter(root, vals)
+        });
+        prop_assert_eq!(out, (0..n as i64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collectives_compose_in_any_order(n in 2usize..8, rounds in 1usize..5) {
+        // Repeated mixed collectives must never cross-talk.
+        let out = World::run(n, move |comm| {
+            let mut acc = 0u64;
+            for r in 0..rounds {
+                comm.barrier();
+                let s = comm.allreduce(comm.rank() as u64 + r as u64, |a, b| a + b);
+                let g = comm.allgather(s);
+                acc = acc.wrapping_add(g.iter().sum::<u64>());
+            }
+            acc
+        });
+        for v in &out[1..] {
+            prop_assert_eq!(*v, out[0], "all ranks agree");
+        }
+    }
+}

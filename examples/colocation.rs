@@ -1,0 +1,111 @@
+//! Co-location scenario (Sec. III-B / Fig. 9): a LULESH batch job that can
+//! only use 32 of 36 cores per node (cubic rank counts!) opts into sharing;
+//! the spare cores serve NAS functions, guarded by the co-location policy.
+//!
+//! ```bash
+//! cargo run --example colocation
+//! ```
+
+use hpc_serverless_disagg::apps::lulesh::{self, LuleshConfig};
+use hpc_serverless_disagg::cluster::{JobSpec, NodeResources};
+use hpc_serverless_disagg::des::SimTime;
+use hpc_serverless_disagg::interference::{NasClass, NasKernel, WorkloadProfile};
+use hpc_serverless_disagg::rfaas::{ExecutorMode, Platform};
+
+fn main() {
+    // LULESH wants a cubic rank count: 64 ranks = 32/node on 2 nodes.
+    assert!(lulesh::is_cubic(64));
+    println!(
+        "valid LULESH rank counts up to 130: {:?}",
+        lulesh::valid_rank_counts(130)
+    );
+
+    let mut platform = Platform::daint(2);
+    platform
+        .bridge
+        .add_profile("lulesh", WorkloadProfile::lulesh(20));
+
+    // Submit the shared LULESH job: 32 cores + 64 GB per node.
+    let spec = JobSpec::shared(
+        2,
+        NodeResources {
+            cores: 32,
+            memory_mb: 64 * 1024,
+            gpus: 0,
+        },
+        SimTime::from_mins(10),
+        "lulesh",
+    );
+    let job = platform.submit_job(spec, SimTime::from_mins(5));
+    println!(
+        "LULESH running; donated spare-slice nodes: {}",
+        platform.manager.registered_nodes()
+    );
+
+    // Actually run (a scaled-down) LULESH on real threads to prove the
+    // workload is genuine: 8 ranks, 6^3 elements each, 10 steps.
+    let result = lulesh::run(8, LuleshConfig { size: 6, steps: 10 });
+    println!(
+        "LULESH proxy: total energy {:.3e}, max velocity {:.3e}",
+        result.total_energy, result.max_velocity
+    );
+
+    // LULESH is compute-heavy, so the requirement model accepts both a
+    // compute-bound EP function and even a cache-hungry CG one — the
+    // predicted perturbation stays under the threshold.
+    let ep = WorkloadProfile::nas(NasKernel::Ep, NasClass::B);
+    let ep_id = platform.register_function(&ep, 2.0, 2048, 25.0);
+    let mut ep_client = platform.client(ep_id, ExecutorMode::Hot).unwrap();
+    match platform.invoke(&mut ep_client, 64 << 10, 1024) {
+        Ok(latency) => println!("EP co-located with LULESH: latency {latency}"),
+        Err(e) => println!("EP rejected: {e}"),
+    }
+    let cg = WorkloadProfile::nas(NasKernel::Cg, NasClass::B);
+    let cg_id = platform.register_function(&cg, 4.0, 4096, 25.0);
+    let mut cg_client = platform.client(cg_id, ExecutorMode::Hot).unwrap();
+    match platform.invoke(&mut cg_client, 64 << 10, 1024) {
+        Ok(latency) => println!("CG co-located with LULESH: latency {latency}"),
+        Err(e) => println!("CG rejected: {e}"),
+    }
+    platform.finish_job(job);
+
+    // A memory-bound MILC job is a different story: the policy predicts
+    // harmful interference for the CG function and refuses the placement.
+    platform
+        .bridge
+        .add_profile("milc", WorkloadProfile::milc(128));
+    let milc_spec = JobSpec::shared(
+        2,
+        NodeResources {
+            cores: 32,
+            memory_mb: 64 * 1024,
+            gpus: 0,
+        },
+        SimTime::from_mins(10),
+        "milc",
+    );
+    let milc_job = platform.submit_job(milc_spec, SimTime::from_mins(5));
+    cg_client.disconnect(&mut platform.manager, platform.now);
+    match platform.invoke(&mut cg_client, 64 << 10, 1024) {
+        Ok(latency) => println!("unexpected: CG co-located with MILC ({latency})"),
+        Err(e) => println!("CG rejected next to MILC: {e}"),
+    }
+    // EP remains harmless and is still allowed.
+    ep_client.disconnect(&mut platform.manager, platform.now);
+    match platform.invoke(&mut ep_client, 64 << 10, 1024) {
+        Ok(latency) => println!("EP co-located with MILC: latency {latency}"),
+        Err(e) => println!("unexpected: EP rejected ({e})"),
+    }
+
+    // When MILC completes, both nodes become fully idle donations and even
+    // CG is welcome.
+    platform.finish_job(milc_job);
+    println!(
+        "job finished; donations now: {} idle nodes",
+        platform.manager.registered_nodes()
+    );
+    match platform.invoke(&mut cg_client, 64 << 10, 1024) {
+        Ok(latency) => println!("CG now runs on the idle node: latency {latency}"),
+        Err(e) => println!("unexpected: {e}"),
+    }
+}

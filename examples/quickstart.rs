@@ -1,0 +1,55 @@
+//! Quickstart: stand up a Piz-Daint-like platform, donate its idle nodes to
+//! the serverless pool, register a function, and invoke it — the minimal
+//! end-to-end path through the system.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use hpc_serverless_disagg::interference::{NasClass, NasKernel, WorkloadProfile};
+use hpc_serverless_disagg::rfaas::{ExecutorMode, Platform};
+
+fn main() {
+    // A four-node cluster; every node is idle, so after the bridge sync the
+    // serverless resource manager owns all of them.
+    let mut platform = Platform::daint(4);
+    platform.bridge.sync(&platform.cluster, &mut platform.manager);
+    println!(
+        "donated nodes: {} (all idle)",
+        platform.manager.registered_nodes()
+    );
+
+    // Register a function from a profiled workload: the NAS EP kernel,
+    // class W — a compute-bound task of ~2.6 s.
+    let ep = WorkloadProfile::nas(NasKernel::Ep, NasClass::W);
+    let fid = platform.register_function(&ep, 1.0, 2048, 30.0);
+
+    // Create a client and invoke three times. The first invocation pays the
+    // cold start (sandbox creation); later ones reuse the sandbox.
+    let mut client = platform.client(fid, ExecutorMode::Hot).expect("registered");
+    for i in 1..=3 {
+        let latency = platform
+            .invoke(&mut client, 4096, 1024)
+            .expect("idle capacity available");
+        println!("invocation {i}: end-to-end latency = {latency}");
+    }
+
+    println!(
+        "executor node: {:?}; cold starts: {}; redirects: {}",
+        client.node(),
+        client.stats.cold_starts,
+        client.stats.redirects
+    );
+
+    // Release the lease — the sandbox parks in the warm pool, so the next
+    // client for the same function skips the cold start entirely.
+    let now = platform.now;
+    client.disconnect(&mut platform.manager, now);
+    let mut second = platform.client(fid, ExecutorMode::Hot).expect("registered");
+    let latency = platform.invoke(&mut second, 4096, 1024).expect("capacity");
+    println!("new client, warm container adopted: latency = {latency}");
+    println!(
+        "warm pool hit rate: {:.2}",
+        platform.manager.pool_stats().hit_rate()
+    );
+}
