@@ -57,7 +57,7 @@ pub fn portfolio(n: usize, seed: u64) -> Vec<OptionData> {
             rate: 0.01 + rng.next_f64() * 0.05,
             volatility: 0.1 + rng.next_f64() * 0.5,
             time: 0.25 + rng.next_f64() * 1.75,
-            is_call: rng.next_u64() % 2 == 0,
+            is_call: rng.next_u64().is_multiple_of(2),
         })
         .collect()
 }

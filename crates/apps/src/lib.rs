@@ -16,6 +16,11 @@
 //! 3. **Calibration** — their relative costs anchor the demand vectors in
 //!    `interference::profiles`.
 
+// Index-based loops are the lingua franca of these numerical kernels
+// (stencils, banded matrices, 3×3 SU(3) blocks); iterator rewrites would
+// obscure the correspondence with the reference benchmarks.
+#![allow(clippy::needless_range_loop)]
+
 pub mod blackscholes;
 pub mod lulesh;
 pub mod milc;

@@ -82,10 +82,26 @@ impl Slab {
                     } else {
                         hi[j * nz + k]
                     };
-                    let p_ym = if j > 0 { self.pressure[self.idx(i, j - 1, k)] } else { p_c };
-                    let p_yp = if j + 1 < ny { self.pressure[self.idx(i, j + 1, k)] } else { p_c };
-                    let p_zm = if k > 0 { self.pressure[self.idx(i, j, k - 1)] } else { p_c };
-                    let p_zp = if k + 1 < nz { self.pressure[self.idx(i, j, k + 1)] } else { p_c };
+                    let p_ym = if j > 0 {
+                        self.pressure[self.idx(i, j - 1, k)]
+                    } else {
+                        p_c
+                    };
+                    let p_yp = if j + 1 < ny {
+                        self.pressure[self.idx(i, j + 1, k)]
+                    } else {
+                        p_c
+                    };
+                    let p_zm = if k > 0 {
+                        self.pressure[self.idx(i, j, k - 1)]
+                    } else {
+                        p_c
+                    };
+                    let p_zp = if k + 1 < nz {
+                        self.pressure[self.idx(i, j, k + 1)]
+                    } else {
+                        p_c
+                    };
                     let div = (p_xm + p_xp + p_ym + p_yp + p_zm + p_zp) - 6.0 * p_c;
                     // Artificial viscosity damps the update where the local
                     // gradient is steep (q-term stand-in).
@@ -158,12 +174,14 @@ pub fn rank_body(comm: &mut Comm, config: LuleshConfig) -> LuleshResult {
             comm.send(me + 1, HALO_TAG, plane_hi.clone());
         }
         let lo = if me > 0 {
-            comm.recv::<Vec<f64>>(me - 1, HALO_TAG).expect("halo from below")
+            comm.recv::<Vec<f64>>(me - 1, HALO_TAG)
+                .expect("halo from below")
         } else {
             plane_lo
         };
         let hi = if me + 1 < ranks {
-            comm.recv::<Vec<f64>>(me + 1, HALO_TAG).expect("halo from above")
+            comm.recv::<Vec<f64>>(me + 1, HALO_TAG)
+                .expect("halo from above")
         } else {
             plane_hi
         };
@@ -235,10 +253,7 @@ mod tests {
     #[test]
     fn ranks_agree_on_global_reductions() {
         let results = World::run(8, |comm| {
-            rank_body(
-                comm,
-                LuleshConfig { size: 4, steps: 4 },
-            )
+            rank_body(comm, LuleshConfig { size: 4, steps: 4 })
         });
         for r in &results[1..] {
             assert_eq!(r.total_energy, results[0].total_energy);

@@ -20,6 +20,7 @@ impl C64 {
     }
 
     #[inline]
+    #[allow(clippy::should_implement_trait)] // by-value micro-kernel; named call keeps FLOP counts visible
     pub fn mul(self, o: C64) -> C64 {
         C64 {
             re: self.re * o.re - self.im * o.im,
@@ -28,6 +29,7 @@ impl C64 {
     }
 
     #[inline]
+    #[allow(clippy::should_implement_trait)] // by-value micro-kernel; named call keeps FLOP counts visible
     pub fn add(self, o: C64) -> C64 {
         C64 {
             re: self.re + o.re,
@@ -195,9 +197,7 @@ impl Lattice {
                         for mu in 0..4 {
                             let nu = (mu + 1) % 4;
                             let xpmu = self.neighbor(x, mu);
-                            let staple = self
-                                .link(xpmu, nu)
-                                .mul(&self.link(x, nu).dagger());
+                            let staple = self.link(xpmu, nu).mul(&self.link(x, nu).dagger());
                             let idx = self.site_index(x) * 4 + mu;
                             let old = self.links[idx];
                             let stepped = old.mul(&staple);

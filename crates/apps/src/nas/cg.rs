@@ -80,7 +80,12 @@ fn dot(a: &[f64], b: &[f64]) -> f64 {
 
 /// Solve A·x = b with plain CG; returns (solution, final residual norm,
 /// iterations used).
-pub fn conjugate_gradient(a: &Csr, b: &[f64], max_iters: usize, tol: f64) -> (Vec<f64>, f64, usize) {
+pub fn conjugate_gradient(
+    a: &Csr,
+    b: &[f64],
+    max_iters: usize,
+    tol: f64,
+) -> (Vec<f64>, f64, usize) {
     let n = a.n;
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();

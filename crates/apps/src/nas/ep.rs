@@ -57,7 +57,10 @@ mod tests {
             }
         }
         let rate = acc as f64 / n as f64;
-        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.01, "rate={rate}");
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.01,
+            "rate={rate}"
+        );
     }
 
     #[test]

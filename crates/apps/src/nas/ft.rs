@@ -176,12 +176,7 @@ mod tests {
         let mut re = re0;
         let mut im = im0;
         fft_1d(&mut re, &mut im, false);
-        let energy_f: f64 = re
-            .iter()
-            .zip(&im)
-            .map(|(r, i)| r * r + i * i)
-            .sum::<f64>()
-            / n as f64;
+        let energy_f: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
         assert!((energy_t - energy_f).abs() / energy_t < 1e-10);
     }
 

@@ -130,7 +130,7 @@ fn prolong_add(coarse: &Grid3, fine: &mut Grid3) {
             for k in 1..=n {
                 let mut v = 0.0;
                 let terms = |x: usize| -> [(usize, f64); 2] {
-                    if x % 2 == 0 {
+                    if x.is_multiple_of(2) {
                         [(x / 2, 1.0), (0, 0.0)] // coarse ghost 0 is zero
                     } else {
                         [(x / 2, 0.5), (x / 2 + 1, 0.5)]

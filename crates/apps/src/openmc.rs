@@ -63,11 +63,31 @@ impl Reactor {
         };
         Reactor {
             regions: vec![
-                Region { x_lo: 0.0, x_hi: 10.0, material: reflector },
-                Region { x_lo: 10.0, x_hi: 30.0, material: fuel },
-                Region { x_lo: 30.0, x_hi: 50.0, material: moderator },
-                Region { x_lo: 50.0, x_hi: 70.0, material: fuel },
-                Region { x_lo: 70.0, x_hi: 80.0, material: reflector },
+                Region {
+                    x_lo: 0.0,
+                    x_hi: 10.0,
+                    material: reflector,
+                },
+                Region {
+                    x_lo: 10.0,
+                    x_hi: 30.0,
+                    material: fuel,
+                },
+                Region {
+                    x_lo: 30.0,
+                    x_hi: 50.0,
+                    material: moderator,
+                },
+                Region {
+                    x_lo: 50.0,
+                    x_hi: 70.0,
+                    material: fuel,
+                },
+                Region {
+                    x_lo: 70.0,
+                    x_hi: 80.0,
+                    material: reflector,
+                },
             ],
         }
     }
@@ -161,6 +181,7 @@ pub fn transport_particle(reactor: &Reactor, x0: f64, rng: &mut Lcg) -> Tally {
         } else {
             tally.fissions += 1;
             tally.absorbed += 1; // fission consumes the neutron
+
             // Expected secondaries; integer sampling keeps tallies discrete.
             let n = NU.floor() as u64 + u64::from(rng.next_f64() < NU.fract());
             tally.secondaries += n;
@@ -198,7 +219,11 @@ mod tests {
     fn particle_fates_are_exhaustive() {
         let reactor = Reactor::opr_like();
         let t = run_batch(&reactor, 2_000, 42);
-        assert_eq!(t.absorbed + t.leaked, 2_000, "every particle ends somewhere");
+        assert_eq!(
+            t.absorbed + t.leaked,
+            2_000,
+            "every particle ends somewhere"
+        );
         assert!(t.collisions > 0);
         assert!(t.track_length > 0.0);
     }

@@ -50,7 +50,7 @@ pub fn random_graph(n: usize, deg: usize, seed: u64) -> (Vec<usize>, Vec<u32>) {
 /// `A x = b`. (Rodinia's `gaussian`.)
 pub fn gaussian_solve(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
     let n = b.len();
-    let mut m: Vec<Vec<f64>> = a.iter().cloned().collect();
+    let mut m: Vec<Vec<f64>> = a.to_vec();
     let mut rhs = b.to_vec();
     for col in 0..n {
         let piv = (col..n).max_by(|&r1, &r2| {
@@ -140,8 +140,7 @@ pub fn srad(img: &[f64], n: usize, lambda: f64, iterations: usize) -> Vec<f64> {
     for _ in 0..iterations {
         // Global statistics drive the diffusion coefficient (as in SRAD).
         let mean: f64 = cur.iter().sum::<f64>() / cur.len() as f64;
-        let var: f64 =
-            cur.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / cur.len() as f64;
+        let var: f64 = cur.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / cur.len() as f64;
         let q0 = var / (mean * mean + 1e-12);
         for i in 0..n {
             for j in 0..n {
@@ -196,7 +195,10 @@ mod tests {
     fn bfs_ring_graph_reaches_everything() {
         let (row_ptr, cols) = random_graph(500, 3, 9);
         let levels = bfs(&row_ptr, &cols, 0);
-        assert!(levels.iter().all(|&l| l != u32::MAX), "ring edge connects all");
+        assert!(
+            levels.iter().all(|&l| l != u32::MAX),
+            "ring edge connects all"
+        );
     }
 
     #[test]
@@ -243,11 +245,7 @@ mod tests {
 
     #[test]
     fn pathfinder_matches_bruteforce_on_small_grid() {
-        let grid = vec![
-            vec![1u32, 9, 1],
-            vec![9, 1, 9],
-            vec![1, 9, 1],
-        ];
+        let grid = vec![vec![1u32, 9, 1], vec![9, 1, 9], vec![1, 9, 1]];
         // Best: 1 (col0) -> 1 (col1) -> 1 (col0 or col2) = 3.
         assert_eq!(pathfinder(&grid), 3);
     }

@@ -11,9 +11,13 @@ fn bench_nas(c: &mut Criterion) {
     let mut g = c.benchmark_group("nas_class_s");
     g.sample_size(10);
     for kernel in NasKernel::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(kernel.name()), &kernel, |b, &k| {
-            b.iter(|| black_box(nas::run(k, NasClass::S, 42)));
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &kernel,
+            |b, &k| {
+                b.iter(|| black_box(nas::run(k, NasClass::S, 42)));
+            },
+        );
     }
     g.finish();
 }
@@ -44,12 +48,7 @@ fn bench_lulesh(c: &mut Criterion) {
     g.sample_size(10);
     for ranks in [1usize, 8] {
         g.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, &r| {
-            b.iter(|| {
-                black_box(lulesh::run(
-                    r,
-                    lulesh::LuleshConfig { size: 6, steps: 5 },
-                ))
-            });
+            b.iter(|| black_box(lulesh::run(r, lulesh::LuleshConfig { size: 6, steps: 5 })));
         });
     }
     g.finish();

@@ -27,7 +27,13 @@ fn bench_fabric(c: &mut Criterion) {
     let mut fabric = Fabric::new(Transport::Ugni, 4);
     let cred = fabric.drc.allocate(JobToken(1));
     let (qp, _) = fabric
-        .connect(NodeId(0), NodeId(1), cred, JobToken(1), CompletionMode::BusyPoll)
+        .connect(
+            NodeId(0),
+            NodeId(1),
+            cred,
+            JobToken(1),
+            CompletionMode::BusyPoll,
+        )
         .unwrap();
     let mr = fabric.register_buffer(NodeId(1), 1 << 20);
     let data = vec![1u8; 64 << 10];

@@ -78,7 +78,10 @@ fn main() {
             vec!["speedup".into(), format!("{}x", fmt(cold_ms / warm_ms))],
         ],
     );
-    assert!(cold_ms > warm_ms * 10.0, "the pool is the difference between ms and s");
+    assert!(
+        cold_ms > warm_ms * 10.0,
+        "the pool is the difference between ms and s"
+    );
 
     // ---- 2. Busy-poll vs event-wait. ----
     let mut rng = RngStream::derive(42, "ablation");
@@ -106,7 +109,11 @@ fn main() {
             vec!["warm (event wait)".into(), fmt(warm_us), fmt(warm_cpu)],
         ],
     );
-    println!("trade-off: {}x latency for {}x less idle CPU", fmt(warm_us / hot_us), fmt(hot_cpu / warm_cpu));
+    println!(
+        "trade-off: {}x latency for {}x less idle CPU",
+        fmt(warm_us / hot_us),
+        fmt(hot_cpu / warm_cpu)
+    );
 
     // ---- 3. Policy ablation. ----
     // Victim: MILC-128 on 32 cores. Candidate functions with varying
@@ -121,7 +128,8 @@ fn main() {
         WorkloadProfile::nas(NasKernel::Mg, NasClass::A).on_node(4),
         WorkloadProfile::nas(NasKernel::Cg, NasClass::B).on_node(4),
     ];
-    let overhead_of = |d: &interference::Demand| colocation_overhead_pct(&cap, &victim, std::slice::from_ref(d));
+    let overhead_of =
+        |d: &interference::Demand| colocation_overhead_pct(&cap, &victim, std::slice::from_ref(d));
 
     // Naive: admit everything that fits.
     let naive_worst = candidates.iter().map(overhead_of).fold(0.0f64, f64::max);
@@ -176,7 +184,7 @@ fn main() {
     let mut lulesh_full = WorkloadProfile::lulesh(20).on_node(36); // all cores
     lulesh_full.name = "LULESH-full".into();
     let function = WorkloadProfile::nas(NasKernel::Bt, NasClass::W).on_node(4);
-    let striped = colocation_overhead_pct(&cap, &lulesh_striped, &[function.clone()]);
+    let striped = colocation_overhead_pct(&cap, &lulesh_striped, std::slice::from_ref(&function));
     // Oversubscription: 36 + 4 cores demanded on 36.
     let oversub = colocation_overhead_pct(&cap, &lulesh_full, &[function]);
     print_table(
@@ -187,7 +195,10 @@ fn main() {
             vec!["36/36 cores + 4-core function".into(), fmt(oversub)],
         ],
     );
-    assert!(oversub > striped + 5.0, "oversubscription hurts: {oversub} vs {striped}");
+    assert!(
+        oversub > striped + 5.0,
+        "oversubscription hurts: {oversub} vs {striped}"
+    );
 
     write_json(
         "ablations",

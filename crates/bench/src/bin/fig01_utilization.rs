@@ -32,8 +32,16 @@ fn main() {
         "Fig. 1a — idle CPU core rate (%)",
         &["metric", "paper", "ours"],
         &[
-            vec!["range".into(), "0–40%".into(), format!("0–{}", fmt(max_idle))],
-            vec!["mean utilization".into(), "80–94% band".into(), fmt(out.mean_core_utilization_pct)],
+            vec![
+                "range".into(),
+                "0–40%".into(),
+                format!("0–{}", fmt(max_idle)),
+            ],
+            vec![
+                "mean utilization".into(),
+                "80–94% band".into(),
+                fmt(out.mean_core_utilization_pct),
+            ],
             vec!["mean idle".into(), "~6–20%".into(), fmt(mean_idle)],
         ],
     );
@@ -50,8 +58,16 @@ fn main() {
         "Fig. 1b — memory split (% of system memory, time-averaged)",
         &["series", "paper", "ours"],
         &[
-            vec!["used memory".into(), format!("~{}%", FIG1.mean_memory_used_pct), fmt(used / n)],
-            vec!["free in allocated nodes".into(), "~55–65%".into(), fmt(fa / n)],
+            vec![
+                "used memory".into(),
+                format!("~{}%", FIG1.mean_memory_used_pct),
+                fmt(used / n),
+            ],
+            vec![
+                "free in allocated nodes".into(),
+                "~55–65%".into(),
+                fmt(fa / n),
+            ],
             vec!["free in idle nodes".into(), "~10–20%".into(), fmt(fi / n)],
         ],
     );
@@ -69,7 +85,10 @@ fn main() {
             ],
             vec![
                 "median availability [min], exact".into(),
-                format!("{}–{}", FIG1.median_availability_min.0, FIG1.median_availability_min.1),
+                format!(
+                    "{}–{}",
+                    FIG1.median_availability_min.0, FIG1.median_availability_min.1
+                ),
                 fmt(r.exact.median_min),
             ],
             vec![
@@ -84,12 +103,18 @@ fn main() {
             ],
             vec![
                 "idle events < 10 min (min est.)".into(),
-                format!("{}–{}", FIG1.frac_idle_below_10min.0, FIG1.frac_idle_below_10min.1),
+                format!(
+                    "{}–{}",
+                    FIG1.frac_idle_below_10min.0, FIG1.frac_idle_below_10min.1
+                ),
                 fmt(r.minimal_estimation.frac_below_10min),
             ],
             vec![
                 "idle events < 10 min (max est.)".into(),
-                format!("{}–{}", FIG1.frac_idle_below_10min.0, FIG1.frac_idle_below_10min.1),
+                format!(
+                    "{}–{}",
+                    FIG1.frac_idle_below_10min.0, FIG1.frac_idle_below_10min.1
+                ),
                 fmt(r.maximal_estimation.frac_below_10min),
             ],
             vec![

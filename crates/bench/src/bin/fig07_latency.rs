@@ -25,7 +25,12 @@ struct Row {
 }
 
 /// Distribution of rFaaS invocation latencies for a no-op function.
-fn rfaas_distribution(mode: ExecutorMode, size: usize, reps: usize, rng: &mut RngStream) -> Percentiles {
+fn rfaas_distribution(
+    mode: ExecutorMode,
+    size: usize,
+    reps: usize,
+    rng: &mut RngStream,
+) -> Percentiles {
     let params = LogGpParams::ugni();
     let mut reg = FunctionRegistry::new();
     let id = reg.register_noop();
@@ -51,7 +56,10 @@ fn rfaas_distribution(mode: ExecutorMode, size: usize, reps: usize, rng: &mut Rn
 fn main() {
     let seed = 42;
     let reps = 2000;
-    banner("FIG7", "rFaaS invocation latency vs libfabric (uGNI), 1 B – 4 KiB");
+    banner(
+        "FIG7",
+        "rFaaS invocation latency vs libfabric (uGNI), 1 B – 4 KiB",
+    );
     println!("seed = {seed}; {reps} repetitions per point; values in µs");
 
     let params = LogGpParams::ugni();
@@ -77,7 +85,13 @@ fn main() {
 
     print_table(
         "Fig. 7 — median (p95) invocation latency [µs]",
-        &["size [B]", "uGNI busy poll", "uGNI queue wait", "rFaaS hot", "rFaaS warm"],
+        &[
+            "size [B]",
+            "uGNI busy poll",
+            "uGNI queue wait",
+            "rFaaS hot",
+            "rFaaS warm",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -110,7 +124,10 @@ fn main() {
         "  single-digit µs hot invocations: median at 1 B = {} µs",
         fmt(small.rfaas_hot_med)
     );
-    assert!(small.rfaas_hot_med < 12.0, "hot path must stay microsecond-scale");
+    assert!(
+        small.rfaas_hot_med < 12.0,
+        "hot path must stay microsecond-scale"
+    );
     assert!(small.rfaas_warm_med > small.rfaas_hot_med);
 
     // Sanity: monotone growth with size for the busy-poll series.

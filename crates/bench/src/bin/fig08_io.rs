@@ -33,14 +33,18 @@ fn main() {
     print_table(
         "Fig. 8 (left) — read latency, one reader [s]",
         &["size", "MinIO", "Lustre", "winner"],
-        &lat
-            .iter()
+        &lat.iter()
             .map(|r| {
                 vec![
                     size_label(r.size_bytes),
                     fmt(r.object_store),
                     fmt(r.lustre),
-                    if r.object_store < r.lustre { "MinIO" } else { "Lustre" }.to_string(),
+                    if r.object_store < r.lustre {
+                        "MinIO"
+                    } else {
+                        "Lustre"
+                    }
+                    .to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -50,14 +54,18 @@ fn main() {
     print_table(
         "Fig. 8 (right) — per-reader throughput, 16 readers [GB/s]",
         &["size", "MinIO", "Lustre", "winner"],
-        &thr
-            .iter()
+        &thr.iter()
             .map(|r| {
                 vec![
                     size_label(r.size_bytes),
                     fmt(r.object_store),
                     fmt(r.lustre),
-                    if r.object_store > r.lustre { "MinIO" } else { "Lustre" }.to_string(),
+                    if r.object_store > r.lustre {
+                        "MinIO"
+                    } else {
+                        "Lustre"
+                    }
+                    .to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -66,7 +74,10 @@ fn main() {
     println!("\nshape checks (the paper's claims):");
     println!("  object storage delivers lower latency for smaller file sizes: MinIO wins ≤10MB");
     println!("  Lustre achieves higher throughput at scale: Lustre wins the 16-reader 1GB point");
-    assert!(lat[0].object_store < lat[0].lustre, "small-file latency: MinIO wins");
+    assert!(
+        lat[0].object_store < lat[0].lustre,
+        "small-file latency: MinIO wins"
+    );
     assert!(
         lat.last().unwrap().object_store > lat.last().unwrap().lustre,
         "1 GB latency: Lustre wins"

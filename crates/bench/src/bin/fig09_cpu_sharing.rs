@@ -53,7 +53,10 @@ struct Entry {
 
 fn main() {
     let seed = 42;
-    banner("FIG9", "CPU-sharing overheads: LULESH / MILC vs co-located NAS");
+    banner(
+        "FIG9",
+        "CPU-sharing overheads: LULESH / MILC vs co-located NAS",
+    );
     println!("seed = {seed}; 10 repetitions; mean ± std in percent\n");
     let cap = NodeCapacity::daint_mc();
     let mut rng = RngStream::derive(seed, "fig9");
@@ -66,10 +69,15 @@ fn main() {
             let p = WorkloadProfile::lulesh(*size);
             (p.name.clone(), p.on_node(32))
         })
-        .chain(MILC_BASELINES.iter().filter(|(s, _)| *s >= 96).map(|(size, _)| {
-            let p = WorkloadProfile::milc(*size);
-            (p.name.clone(), p.on_node(32))
-        }))
+        .chain(
+            MILC_BASELINES
+                .iter()
+                .filter(|(s, _)| *s >= 96)
+                .map(|(size, _)| {
+                    let p = WorkloadProfile::milc(*size);
+                    (p.name.clone(), p.on_node(32))
+                }),
+        )
         .collect();
 
     for (kernel, class, ranks, nas_baseline_s) in FIG9_NAS {
@@ -79,7 +87,8 @@ fn main() {
         let aggressor = nas.on_node(ranks_per_node);
 
         for (victim_name, victim) in &victims {
-            let batch_over = colocation_overhead_pct(&cap, victim, &[aggressor.clone()]);
+            let batch_over =
+                colocation_overhead_pct(&cap, victim, std::slice::from_ref(&aggressor));
             // The NAS job's own slowdown relative to running alone on the node.
             let both = slowdowns(&cap, &[victim.clone(), aggressor.clone()]);
             let alone = solo_slowdown(&cap, &aggressor);
@@ -157,7 +166,11 @@ fn main() {
         .map(|e| {
             vec![
                 e.nas.clone(),
-                format!("{} ± {}", fmt(e.nas_overhead_mean_pct), fmt(e.nas_overhead_std_pct)),
+                format!(
+                    "{} ± {}",
+                    fmt(e.nas_overhead_mean_pct),
+                    fmt(e.nas_overhead_std_pct)
+                ),
             ]
         })
         .collect();

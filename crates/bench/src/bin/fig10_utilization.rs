@@ -24,7 +24,6 @@ use serde::Serialize;
 const LULESH_T: f64 = 119.0; // s, size 20, paper baseline
 const LULESH_RANKS_PER_NODE: u32 = 32;
 const NODE_CORES: f64 = 36.0;
-const SPARE_CORES: f64 = 8.0; // 4 per node × 2 nodes
 
 fn nas(label: &str) -> (WorkloadProfile, u32, f64) {
     // (profile, ranks, serial runtime of the configuration)
@@ -52,7 +51,10 @@ struct Row {
 }
 
 fn main() {
-    banner("FIG10", "System utilization: disaggregation vs ideal non-sharing vs realistic");
+    banner(
+        "FIG10",
+        "System utilization: disaggregation vs ideal non-sharing vs realistic",
+    );
     let cap = NodeCapacity::daint_mc();
     let lulesh = WorkloadProfile::lulesh(20);
     let lulesh_node = lulesh.on_node(LULESH_RANKS_PER_NODE);
@@ -67,8 +69,10 @@ fn main() {
         // the two LULESH nodes ("launch new executions as soon as the
         // previous ones finish"), so `ranks` spare cores stay busy for the
         // whole run. Both sides feel the modelled co-location overhead.
-        let lulesh_over = colocation_overhead_pct(&cap, &lulesh_node, &[aggressor.clone()]) / 100.0;
-        let nas_over = colocation_overhead_pct(&cap, &aggressor, &[lulesh_node.clone()]) / 100.0;
+        let lulesh_over =
+            colocation_overhead_pct(&cap, &lulesh_node, std::slice::from_ref(&aggressor)) / 100.0;
+        let nas_over =
+            colocation_overhead_pct(&cap, &aggressor, std::slice::from_ref(&lulesh_node)) / 100.0;
         let t_lulesh_d = LULESH_T * (1.0 + lulesh_over);
         let t_nas_d = t_nas * (1.0 + nas_over);
         // Executions completed while LULESH runs — this is the work package.
@@ -155,7 +159,10 @@ fn main() {
             "{}: disaggregation > ideal > realistic must hold",
             r.config
         );
-        assert!(r.core_hours[2] > 1.15, "realistic billing wastes core-hours");
+        assert!(
+            r.core_hours[2] > 1.15,
+            "realistic billing wastes core-hours"
+        );
         assert!(r.total_time[0] <= 1.06, "disaggregation never much slower");
     }
     assert!(best > 35.0, "headline improvement in the paper's ballpark");

@@ -26,7 +26,10 @@ struct Series {
 
 fn main() {
     let seed = 42;
-    banner("FIG11", "Remote-memory function co-location overheads (10 MB transfers)");
+    banner(
+        "FIG11",
+        "Remote-memory function co-location overheads (10 MB transfers)",
+    );
     println!("seed = {seed}; 1 GB pinned region; intervals 1–500 ms; 10 repetitions\n");
     let cap = NodeCapacity::ault();
     let mut rng = RngStream::derive(seed, "fig11");
@@ -55,9 +58,18 @@ fn main() {
         d
     };
     let victims: Vec<(String, interference::Demand)> = vec![
-        ("LULESH 27 ranks".into(), single_node(WorkloadProfile::lulesh(20).on_node(27))),
-        ("LULESH 125 ranks (32/node)".into(), single_node(WorkloadProfile::lulesh(20).on_node(32))),
-        ("MILC 32 ranks".into(), single_node(WorkloadProfile::milc(128).on_node(32))),
+        (
+            "LULESH 27 ranks".into(),
+            single_node(WorkloadProfile::lulesh(20).on_node(27)),
+        ),
+        (
+            "LULESH 125 ranks (32/node)".into(),
+            single_node(WorkloadProfile::lulesh(20).on_node(32)),
+        ),
+        (
+            "MILC 32 ranks".into(),
+            single_node(WorkloadProfile::milc(128).on_node(32)),
+        ),
     ];
 
     let mut all = Vec::new();
@@ -67,7 +79,8 @@ fn main() {
             let mut stds = Vec::new();
             for &interval in &FIG11_INTERVALS_MS {
                 let memsvc = WorkloadProfile::memory_service(10.0, interval);
-                let base = colocation_overhead_pct(&cap, victim, &[memsvc.per_rank.clone()]);
+                let base =
+                    colocation_overhead_pct(&cap, victim, std::slice::from_ref(&memsvc.per_rank));
                 // Reads put slightly more pressure on the victim (the
                 // response path crosses the memory bus twice).
                 let base = if op == "read" { base * 1.1 } else { base };
@@ -110,7 +123,10 @@ fn main() {
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max)
-            - s.overhead_mean_pct.iter().cloned().fold(f64::INFINITY, f64::min);
+            - s.overhead_mean_pct
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
         println!(
             "  {} ({}): overhead varies only {} pct-points across 1–500 ms intervals",
             s.victim,

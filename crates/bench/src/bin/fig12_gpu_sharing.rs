@@ -26,7 +26,10 @@ struct Entry {
 
 fn main() {
     let seed = 42;
-    banner("FIG12", "GPU-function co-location overheads (Rodinia on idle P100s)");
+    banner(
+        "FIG12",
+        "GPU-function co-location overheads (Rodinia on idle P100s)",
+    );
     println!("seed = {seed}; 10 repetitions; LULESH 9/12 cores, MILC 11/12 cores per node\n");
     let cap = NodeCapacity::daint_gpu();
     let mut rng = RngStream::derive(seed, "fig12");
@@ -53,13 +56,19 @@ fn main() {
 
     let mut entries = Vec::new();
     for (holder, bench) in RodiniaBenchmark::ALL.iter().enumerate() {
-        let mut f = GpuFunction::deploy(*bench, GpuDevice::p100(), &mut gres, holder as u32, holder as u64)
-            .expect("each bench gets its own virtual node");
+        let mut f = GpuFunction::deploy(
+            *bench,
+            GpuDevice::p100(),
+            &mut gres,
+            holder as u32,
+            holder as u64,
+        )
+        .expect("each bench gets its own virtual node");
         let gpu_time = f.invoke().total().as_millis_f64();
         let host_demand = f.host_demand();
 
         for (victim_name, victim, baseline) in &victims {
-            let base = colocation_overhead_pct(&cap, victim, &[host_demand.clone()]);
+            let base = colocation_overhead_pct(&cap, victim, std::slice::from_ref(&host_demand));
             // Smaller problems are noisier (the paper's two outliers appear
             // only at LULESH size 15).
             let noise = 2.2 * (40.0 / baseline).sqrt();
@@ -127,7 +136,11 @@ fn main() {
     let mut seen = std::collections::HashSet::new();
     for e in &entries {
         if seen.insert(e.bench.clone()) {
-            println!("  {}: {} ms (paper: 'a few hundred milliseconds')", e.bench, fmt(e.gpu_runtime_ms));
+            println!(
+                "  {}: {} ms (paper: 'a few hundred milliseconds')",
+                e.bench,
+                fmt(e.gpu_runtime_ms)
+            );
         }
     }
 
@@ -138,13 +151,19 @@ fn main() {
         .map(|e| e.overhead_mean_pct)
         .collect();
     let mean_large = lulesh_large.iter().sum::<f64>() / lulesh_large.len() as f64;
-    assert!(mean_large < 5.0, "large LULESH stays under 5%: {mean_large}");
+    assert!(
+        mean_large < 5.0,
+        "large LULESH stays under 5%: {mean_large}"
+    );
     let milc_mean = entries
         .iter()
         .filter(|e| e.batch.starts_with("MILC"))
         .map(|e| e.overhead_mean_pct)
         .sum::<f64>()
-        / entries.iter().filter(|e| e.batch.starts_with("MILC")).count() as f64;
+        / entries
+            .iter()
+            .filter(|e| e.batch.starts_with("MILC"))
+            .count() as f64;
     assert!(milc_mean > mean_large, "MILC feels the host pressure more");
     println!(
         "\nshape: LULESH(large) mean {}% < MILC mean {}%; 9/12-core request saves 25% core-hours",

@@ -116,7 +116,10 @@ fn main() {
         mid.rfaas,
         mid.openmp
     );
-    assert!(max64.rfaas < max64.openmp, "network saturation caps pure rFaaS");
+    assert!(
+        max64.rfaas < max64.openmp,
+        "network saturation caps pure rFaaS"
+    );
     assert!(max64.combined > max64.openmp, "doubling resources helps");
 
     // ---- Fig. 13b/c: OpenMC, 1k and 10k particles. ----
@@ -137,7 +140,8 @@ fn main() {
         );
         let rows = series(&planner, n_tasks, serial_setup, task_s);
         print_series(
-            &format!("Fig. 13{} — OpenMC, {} particles (serial {} s)",
+            &format!(
+                "Fig. 13{} — OpenMC, {} particles (serial {} s)",
                 if r.particles == 1000 { 'b' } else { 'c' },
                 r.particles,
                 r.serial_s
@@ -151,7 +155,10 @@ fn main() {
         println!("paper vs ours at 64-way [s]:");
         println!("  OpenMP:        {}", compare(r.openmp_s, ours_openmp_s));
         println!("  rFaaS:         {}", compare(r.rfaas_s, ours_rfaas_s));
-        println!("  OpenMP+rFaaS:  {}", compare(r.combined_s, ours_combined_s));
+        println!(
+            "  OpenMP+rFaaS:  {}",
+            compare(r.combined_s, ours_combined_s)
+        );
         assert!(
             ours_combined_s < ours_openmp_s,
             "combined must beat OpenMP alone"
@@ -163,6 +170,8 @@ fn main() {
         openmc_rows.push((r.particles, rows));
     }
 
-    println!("\nshape: rFaaS tracks OpenMP; OpenMP+rFaaS wins once tasks outnumber Eq. (1)'s threshold.");
+    println!(
+        "\nshape: rFaaS tracks OpenMP; OpenMP+rFaaS wins once tasks outnumber Eq. (1)'s threshold."
+    );
     write_json("fig13_offload", &openmc_rows);
 }

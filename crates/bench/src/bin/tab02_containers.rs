@@ -7,11 +7,18 @@ use containers::{cold_start, ContainerRuntime, RuntimeCapabilities};
 use rfaas::EnvironmentMatrix;
 
 fn yn(b: bool) -> String {
-    if b { "yes".into() } else { "no".into() }
+    if b {
+        "yes".into()
+    } else {
+        "no".into()
+    }
 }
 
 fn main() {
-    banner("TAB1+TAB2", "Environment and container-system capability matrices");
+    banner(
+        "TAB1+TAB2",
+        "Environment and container-system capability matrices",
+    );
 
     let env = EnvironmentMatrix::table1();
     print_table(
@@ -47,7 +54,15 @@ fn main() {
         .collect();
     print_table(
         "Table II — container systems",
-        &["runtime", "image format", "repositories", "auto devices", "SLURM", "native MPI", "HPC-suitable"],
+        &[
+            "runtime",
+            "image format",
+            "repositories",
+            "auto devices",
+            "SLURM",
+            "native MPI",
+            "HPC-suitable",
+        ],
         &rows,
     );
 
@@ -67,7 +82,14 @@ fn main() {
         .collect();
     print_table(
         "Cold-start cost model (50 MB code package) [ms]",
-        &["runtime", "sandbox", "init", "code load", "fabric mount", "total"],
+        &[
+            "runtime",
+            "sandbox",
+            "init",
+            "code load",
+            "fabric mount",
+            "total",
+        ],
         &cold,
     );
     println!("\npaper: cold starts add 'hundreds of milliseconds in the best case' — all totals land there;");

@@ -14,7 +14,10 @@ use std::path::PathBuf;
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -40,7 +43,12 @@ pub fn compare(paper: f64, ours: f64) -> String {
     if !paper.is_finite() || !ours.is_finite() || paper == 0.0 {
         return format!("{} vs {}", fmt(paper), fmt(ours));
     }
-    format!("{} vs {} ({:+.0}%)", fmt(paper), fmt(ours), 100.0 * (ours / paper - 1.0))
+    format!(
+        "{} vs {} ({:+.0}%)",
+        fmt(paper),
+        fmt(ours),
+        100.0 * (ours / paper - 1.0)
+    )
 }
 
 /// Write the JSON artifact for a figure.

@@ -10,7 +10,10 @@ pub const TABLE3: [(&str, [f64; 8]); 4] = [
     ("CG.A", [1.0, 1.85, 2.8, 4.8, 5.8, 6.0, 8.5, 11.4]),
     ("EP.W", [1.0, 2.0, 3.78, 6.8, 10.2, 13.6, 20.4, 27.2]),
     // LU had no measurements at 16 and 32 in the paper (NaN).
-    ("LU.W", [1.0, 1.9, 3.76, 6.7, 9.96, f64::NAN, 19.7, f64::NAN]),
+    (
+        "LU.W",
+        [1.0, 1.9, 3.76, 6.7, 9.96, f64::NAN, 19.7, f64::NAN],
+    ),
 ];
 
 /// Fig. 1 headline statistics (Piz Daint, March 2022).

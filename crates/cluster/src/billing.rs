@@ -123,7 +123,12 @@ mod tests {
     #[test]
     fn realistic_bills_whole_nodes() {
         let mut l = BillingLedger::new();
-        let ch = l.charge_job(&spec_32_of_36(), 36, SimTime::from_hours(1), BillingPolicy::Realistic);
+        let ch = l.charge_job(
+            &spec_32_of_36(),
+            36,
+            SimTime::from_hours(1),
+            BillingPolicy::Realistic,
+        );
         assert!((ch - 72.0).abs() < 1e-9);
     }
 
@@ -145,7 +150,12 @@ mod tests {
     #[test]
     fn function_charges_accumulate_separately() {
         let mut l = BillingLedger::new();
-        l.charge_job(&spec_32_of_36(), 36, SimTime::from_hours(1), BillingPolicy::Disaggregation);
+        l.charge_job(
+            &spec_32_of_36(),
+            36,
+            SimTime::from_hours(1),
+            BillingPolicy::Disaggregation,
+        );
         l.charge_function("nas-bt", 4, SimTime::from_hours(2));
         assert!((l.core_hours_for("nas-bt") - 8.0).abs() < 1e-9);
         assert!((l.total_core_hours() - 72.0).abs() < 1e-9);

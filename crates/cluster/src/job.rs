@@ -138,7 +138,12 @@ mod tests {
 
     #[test]
     fn wait_and_runtime() {
-        let mut j = Job::new(JobId(1), spec(), SimTime::from_secs(100), SimTime::from_secs(50));
+        let mut j = Job::new(
+            JobId(1),
+            spec(),
+            SimTime::from_secs(100),
+            SimTime::from_secs(50),
+        );
         assert_eq!(j.wait_time(), None);
         assert_eq!(j.runtime(), None);
         j.started_at = Some(SimTime::from_secs(160));

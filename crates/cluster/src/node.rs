@@ -238,7 +238,12 @@ mod tests {
     fn allocate_and_free_accounting() {
         let mut n = Node::new(NodeId(0), NodeResources::daint_mc());
         assert!(n.is_idle());
-        n.allocate(JobId(1), req(32, 64 * 1024, 0), false, SimTime::from_secs(10));
+        n.allocate(
+            JobId(1),
+            req(32, 64 * 1024, 0),
+            false,
+            SimTime::from_secs(10),
+        );
         assert!(!n.is_idle());
         assert_eq!(n.free(), req(4, 64 * 1024, 0));
         n.allocate(JobId(2), req(4, 1024, 0), false, SimTime::from_secs(20));

@@ -511,11 +511,19 @@ mod tests {
     #[test]
     fn idle_periods_reported_at_start() {
         let mut c = small_cluster(1);
-        let a = c.submit(excl(1, 10, "a"), SimTime::from_mins(10), SimTime::from_mins(5));
+        let a = c.submit(
+            excl(1, 10, "a"),
+            SimTime::from_mins(10),
+            SimTime::from_mins(5),
+        );
         let (_, periods) = c.try_schedule(SimTime::from_mins(5));
         assert_eq!(periods, vec![SimTime::from_mins(5)]);
         c.finish(a, SimTime::from_mins(15)).unwrap();
-        c.submit(excl(1, 10, "b"), SimTime::from_mins(10), SimTime::from_mins(18));
+        c.submit(
+            excl(1, 10, "b"),
+            SimTime::from_mins(10),
+            SimTime::from_mins(18),
+        );
         let (_, periods) = c.try_schedule(SimTime::from_mins(18));
         assert_eq!(periods, vec![SimTime::from_mins(3)]);
     }

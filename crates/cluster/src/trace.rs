@@ -234,7 +234,11 @@ pub fn simulate_trace(profile: &TraceProfile, horizon: SimTime, seed: u64) -> Tr
     let st = Rc::try_unwrap(st).unwrap_or_else(|_| panic!("pending events hold trace state"));
     let report = st.monitor.into_inner().finish();
     let mean_util = {
-        let vals: Vec<f64> = report.idle_cpu_pct.iter().map(|(_, idle)| 100.0 - idle).collect();
+        let vals: Vec<f64> = report
+            .idle_cpu_pct
+            .iter()
+            .map(|(_, idle)| 100.0 - idle)
+            .collect();
         if vals.is_empty() {
             f64::NAN
         } else {
@@ -285,7 +289,10 @@ mod tests {
             let (spec, runtime) = profile.draw_job(&mut rng);
             assert!(profile.size_buckets.iter().any(|(n, _)| *n == spec.nodes));
             assert!(runtime <= profile.max_runtime);
-            assert!(runtime <= spec.walltime * 1.0 + SimTime::from_secs(1) || spec.walltime == profile.max_runtime);
+            assert!(
+                runtime <= spec.walltime * 1.0 + SimTime::from_secs(1)
+                    || spec.walltime == profile.max_runtime
+            );
             assert!(spec.per_node.memory_mb <= profile.node_capacity.memory_mb);
             assert!(spec.per_node.memory_mb > 0);
         }

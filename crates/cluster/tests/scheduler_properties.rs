@@ -7,12 +7,12 @@ use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = (JobSpec, u64)> {
     (
-        1u32..5,           // nodes
-        1u32..=36,         // cores per node
-        1u64..128 * 1024,  // memory
-        1u64..120,         // walltime minutes
-        any::<bool>(),     // shared
-        1u64..100,         // actual runtime minutes
+        1u32..5,          // nodes
+        1u32..=36,        // cores per node
+        1u64..128 * 1024, // memory
+        1u64..120,        // walltime minutes
+        any::<bool>(),    // shared
+        1u64..100,        // actual runtime minutes
     )
         .prop_map(|(nodes, cores, mem, wall, shared, run)| {
             let per_node = NodeResources {

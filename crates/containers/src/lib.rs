@@ -17,4 +17,6 @@ pub mod runtime;
 pub use image::{ContainerImage, ImageCache, ImageId};
 pub use migrate::{migration_cost, swap_in_cost, swap_out_cost, MigrationPlan};
 pub use pool::{PoolStats, WarmContainer, WarmPool};
-pub use runtime::{cold_start, dispatch_overhead, ContainerRuntime, RuntimeCapabilities, StartKind, StartupCost};
+pub use runtime::{
+    cold_start, dispatch_overhead, ContainerRuntime, RuntimeCapabilities, StartKind, StartupCost,
+};

@@ -235,7 +235,10 @@ mod tests {
         assert_eq!(evicted.len(), 2);
         assert_eq!(pool.len(), 1);
         assert_eq!(pool.budget(NodeId(0)), 0);
-        assert!(pool.park(wc(4, 0, 1, 1)).is_err(), "no budget after reclaim");
+        assert!(
+            pool.park(wc(4, 0, 1, 1)).is_err(),
+            "no budget after reclaim"
+        );
     }
 
     #[test]

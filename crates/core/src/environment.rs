@@ -78,7 +78,13 @@ mod tests {
     fn matrix_covers_all_five_dimensions() {
         let m = EnvironmentMatrix::table1();
         assert_eq!(m.rows.len(), 5);
-        for d in ["Network", "Sandbox", "Storage", "Communication", "Placement"] {
+        for d in [
+            "Network",
+            "Sandbox",
+            "Storage",
+            "Communication",
+            "Placement",
+        ] {
             assert!(m.row(d).is_some(), "{d} missing");
         }
     }

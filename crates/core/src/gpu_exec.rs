@@ -56,7 +56,9 @@ impl GpuFunction {
         node: u32,
         holder: u64,
     ) -> Result<Self, GpuExecError> {
-        let slot = gres.acquire(node, holder).ok_or(GpuExecError::NoGpuAvailable)?;
+        let slot = gres
+            .acquire(node, holder)
+            .ok_or(GpuExecError::NoGpuAvailable)?;
         Ok(GpuFunction {
             profile: RodiniaProfile::of(bench),
             device,
@@ -128,7 +130,9 @@ mod tests {
             GpuExecError::NoGpuAvailable
         );
         f.teardown(&mut g);
-        assert!(GpuFunction::deploy(RodiniaBenchmark::Bfs, GpuDevice::p100(), &mut g, 0, 2).is_ok());
+        assert!(
+            GpuFunction::deploy(RodiniaBenchmark::Bfs, GpuDevice::p100(), &mut g, 0, 2).is_ok()
+        );
     }
 
     #[test]

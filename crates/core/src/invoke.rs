@@ -70,10 +70,14 @@ impl Client {
     }
 
     fn connect(&mut self, mgr: &mut ResourceManager, now: SimTime) -> Result<SimTime, InvokeError> {
-        let (lease, node, adopted) = mgr.request_lease(&self.function, now).map_err(|e| match e {
-            ManagerError::NoCapacity => InvokeError::NoResources("no donated capacity".into()),
-            other => InvokeError::NoResources(other.to_string()),
-        })?;
+        let (lease, node, adopted) =
+            mgr.request_lease(&self.function, now)
+                .map_err(|e| match e {
+                    ManagerError::NoCapacity => {
+                        InvokeError::NoResources("no donated capacity".into())
+                    }
+                    other => InvokeError::NoResources(other.to_string()),
+                })?;
         let mut executor = Executor::new(self.function.clone(), self.mode);
         let mut setup = SimTime::from_micros(150); // QP connect + credential
         if adopted {
@@ -127,7 +131,7 @@ impl Client {
     /// Disconnect, returning resources (and the sandbox to the warm pool).
     pub fn disconnect(&mut self, mgr: &mut ResourceManager, now: SimTime) {
         if let Some((lease, node, executor)) = self.current.take() {
-            let park = executor.sandbox_ready.then(|| containers::WarmContainer {
+            let park = executor.sandbox_ready.then_some(containers::WarmContainer {
                 image: self.function.image.id,
                 node,
                 memory_mb: self.function.requirements.memory_mb,
@@ -190,7 +194,9 @@ mod tests {
         assert!(setup > SimTime::ZERO);
         assert!(t.sandbox > SimTime::from_millis(50), "cold sandbox");
         assert_eq!(client.stats.cold_starts, 1);
-        let (t2, setup2) = client.invoke(&mut mgr, 1024, 64, SimTime::from_secs(1)).unwrap();
+        let (t2, setup2) = client
+            .invoke(&mut mgr, 1024, 64, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(setup2, SimTime::ZERO);
         assert_eq!(t2.sandbox, SimTime::ZERO, "sandbox retained");
     }
@@ -202,7 +208,9 @@ mod tests {
         client.invoke(&mut mgr, 64, 64, SimTime::ZERO).unwrap();
         let first_node = client.node().unwrap();
         mgr.remove_resources(first_node, false);
-        let (_, setup) = client.invoke(&mut mgr, 64, 64, SimTime::from_secs(1)).unwrap();
+        let (_, setup) = client
+            .invoke(&mut mgr, 64, 64, SimTime::from_secs(1))
+            .unwrap();
         assert!(setup > SimTime::ZERO, "reconnect paid");
         assert_ne!(client.node().unwrap(), first_node);
         assert_eq!(client.stats.redirects, 1);
@@ -237,7 +245,9 @@ mod tests {
         client.disconnect(&mut mgr, SimTime::from_secs(1));
         // A second client for the same function adopts the parked container.
         let mut client2 = Client::new(fast_function(), ExecutorMode::Hot, LogGpParams::ugni());
-        let (t, _) = client2.invoke(&mut mgr, 64, 64, SimTime::from_secs(2)).unwrap();
+        let (t, _) = client2
+            .invoke(&mut mgr, 64, 64, SimTime::from_secs(2))
+            .unwrap();
         assert_eq!(t.sandbox, SimTime::ZERO, "warm container adopted");
         assert_eq!(client2.stats.cold_starts, 0, "no cold start needed");
     }

@@ -104,7 +104,12 @@ impl LeaseManager {
     }
 
     /// Extend an active lease.
-    pub fn renew(&mut self, id: LeaseId, now: SimTime, duration: SimTime) -> Result<(), LeaseError> {
+    pub fn renew(
+        &mut self,
+        id: LeaseId,
+        now: SimTime,
+        duration: SimTime,
+    ) -> Result<(), LeaseError> {
         let lease = self.leases.get_mut(&id).ok_or(LeaseError::Unknown)?;
         if !lease.is_usable(now) {
             return Err(LeaseError::NotActive);
@@ -184,7 +189,8 @@ mod tests {
         let mut lm = LeaseManager::new();
         let id = lm.grant(NodeId(0), reqs(), SimTime::ZERO, SimTime::from_secs(30));
         assert!(lm.get(id).unwrap().is_usable(SimTime::from_secs(10)));
-        lm.renew(id, SimTime::from_secs(10), SimTime::from_secs(30)).unwrap();
+        lm.renew(id, SimTime::from_secs(10), SimTime::from_secs(30))
+            .unwrap();
         assert!(lm.get(id).unwrap().is_usable(SimTime::from_secs(35)));
         let flipped = lm.sweep_expired(SimTime::from_secs(50));
         assert_eq!(flipped, vec![id]);

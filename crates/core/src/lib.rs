@@ -37,11 +37,11 @@ pub mod scheduler_glue;
 pub use environment::EnvironmentMatrix;
 pub use executor::{Executor, ExecutorMode, InvocationTiming};
 pub use functions::{FunctionDef, FunctionId, FunctionRegistry, FunctionRequirements};
+pub use gpu_exec::{GpuFunction, GpuInvocationTiming};
 pub use invoke::{Client, InvokeError};
 pub use lease::{Lease, LeaseError, LeaseId, LeaseManager, LeaseState};
-pub use manager::{DonationSource, Donation, ManagerError, RemovalReport, ResourceManager};
-pub use scheduler_glue::SchedulerBridge;
+pub use manager::{Donation, DonationSource, ManagerError, RemovalReport, ResourceManager};
 pub use memservice::{MemoryServiceFunction, RemoteMemoryClient};
-pub use gpu_exec::{GpuFunction, GpuInvocationTiming};
 pub use offload::{OffloadPlan, OffloadPlanner};
 pub use platform::Platform;
+pub use scheduler_glue::SchedulerBridge;

@@ -328,7 +328,11 @@ mod tests {
     use interference::profiles::WorkloadProfile;
     use interference::{NasClass, NasKernel};
 
-    fn registry_with(name: &str, profile: &WorkloadProfile, cores: f64) -> (FunctionRegistry, crate::FunctionId) {
+    fn registry_with(
+        name: &str,
+        profile: &WorkloadProfile,
+        cores: f64,
+    ) -> (FunctionRegistry, crate::FunctionId) {
         let mut reg = FunctionRegistry::new();
         let mut demand = profile.per_rank.clone();
         demand.cores = cores;
@@ -424,10 +428,7 @@ mod tests {
         let (lease, _, _) = mgr.request_lease(&f, SimTime::ZERO).unwrap();
         let report = mgr.remove_resources(NodeId(3), false);
         assert!(report.graceful);
-        assert_eq!(
-            mgr.leases.get(lease).unwrap().state,
-            LeaseState::Draining
-        );
+        assert_eq!(mgr.leases.get(lease).unwrap().state, LeaseState::Draining);
     }
 
     #[test]

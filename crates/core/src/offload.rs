@@ -142,8 +142,7 @@ impl OffloadPlanner {
         local_workers: usize,
         remote_executors: usize,
     ) -> f64 {
-        let local_s =
-            plan.local as f64 * self.t_local.as_secs_f64() / local_workers.max(1) as f64;
+        let local_s = plan.local as f64 * self.t_local.as_secs_f64() / local_workers.max(1) as f64;
         let remote_s = if plan.remote == 0 {
             0.0
         } else {
@@ -207,7 +206,14 @@ mod tests {
     fn small_batches_stay_local() {
         let p = planner(2, 10);
         let plan = p.plan(5, 8);
-        assert_eq!(plan, OffloadPlan { local: 5, remote: 0, max_in_flight: plan.max_in_flight });
+        assert_eq!(
+            plan,
+            OffloadPlan {
+                local: 5,
+                remote: 0,
+                max_in_flight: plan.max_in_flight
+            }
+        );
     }
 
     #[test]
@@ -264,6 +270,92 @@ mod tests {
                 "workers={workers}: {doubled} vs {local_only}"
             );
         }
+    }
+
+    #[test]
+    fn eq1_break_even_point_local_wins_below_it() {
+        // Eq. (1) break-even: with t_inv + L = 10.05 ms and t_local = 2 ms,
+        // N_local_min = ⌈10.05 / 2⌉ = 6. Any batch of at most 6 tasks cannot
+        // hide a round trip behind local work — offloading would leave the
+        // application waiting on the network, so the whole batch stays local
+        // no matter how many executors are offered.
+        let p = planner(2, 10);
+        let n_min = p.n_local_min();
+        assert_eq!(n_min, 6);
+        for n in 1..=n_min {
+            for executors in [1usize, 8, 64] {
+                let plan = p.plan(n, executors);
+                assert_eq!(plan.remote, 0, "n={n}, executors={executors}");
+                assert_eq!(plan.local, n);
+            }
+        }
+    }
+
+    #[test]
+    fn eq1_break_even_point_offload_wins_above_it() {
+        // One task past the break-even point, offloading becomes legal and
+        // the rate-proportional split uses it; Eq. (1) still caps how few
+        // tasks may stay local.
+        let p = planner(2, 10);
+        let n_min = p.n_local_min();
+        let plan = p.plan(n_min + 1, 8);
+        assert!(plan.remote > 0, "past break-even the planner must offload");
+        assert!(
+            plan.local >= n_min,
+            "Eq. (1) floor must hold at the boundary"
+        );
+        assert_eq!(plan.local + plan.remote, n_min + 1);
+    }
+
+    #[test]
+    fn offload_wins_regime_improves_makespan() {
+        // Deep in the offload-wins regime (n ≫ N_local_min, fast remote
+        // side), the planned split must beat keeping everything local.
+        let p = planner(2, 10);
+        let (workers, executors, n) = (4usize, 8usize, 10_000usize);
+        let plan = p.plan_with_workers(n, workers, executors);
+        assert!(plan.remote > 0);
+        let split_s = p.predicted_makespan_s(&plan, workers, executors);
+        let local_only = OffloadPlan {
+            local: n,
+            remote: 0,
+            max_in_flight: plan.max_in_flight,
+        };
+        let local_s = p.predicted_makespan_s(&local_only, workers, executors);
+        assert!(
+            split_s < local_s,
+            "offload must win: split {split_s}s vs local-only {local_s}s"
+        );
+    }
+
+    #[test]
+    fn local_wins_regime_rejects_offload() {
+        // Local-wins regime: remote execution is an order of magnitude
+        // slower than local (t_inv ≫ t_local over a thin link), so the
+        // break-even point exceeds the batch and the planner keeps all work
+        // local — which is also the faster choice.
+        let slow_remote = OffloadPlanner {
+            t_local: SimTime::from_millis(1),
+            t_inv: SimTime::from_millis(200),
+            latency: SimTime::from_millis(50),
+            bandwidth_bps: 1e6,
+            data_per_inv: 1 << 20,
+        };
+        let n = 100;
+        assert!(slow_remote.n_local_min() > n);
+        let plan = slow_remote.plan_with_workers(n, 4, 8);
+        assert_eq!(plan.remote, 0);
+        let local_s = slow_remote.predicted_makespan_s(&plan, 4, 8);
+        let forced = OffloadPlan {
+            local: n / 2,
+            remote: n - n / 2,
+            max_in_flight: plan.max_in_flight,
+        };
+        let forced_s = slow_remote.predicted_makespan_s(&forced, 4, 8);
+        assert!(
+            local_s < forced_s,
+            "staying local must win: {local_s}s vs forced offload {forced_s}s"
+        );
     }
 
     #[test]

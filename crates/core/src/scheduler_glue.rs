@@ -59,8 +59,14 @@ impl SchedulerBridge {
     /// shared jobs' spares; reclaim donations the scheduler took back.
     pub fn sync(&mut self, cluster: &Cluster, mgr: &mut ResourceManager) -> SyncReport {
         let mut report = SyncReport::default();
-        let mut should_be_donated: HashMap<NodeId, (FunctionRequirements, DonationSource, Option<interference::Demand>)> =
-            HashMap::new();
+        let mut should_be_donated: HashMap<
+            NodeId,
+            (
+                FunctionRequirements,
+                DonationSource,
+                Option<interference::Demand>,
+            ),
+        > = HashMap::new();
 
         for node in cluster.nodes() {
             if node.is_idle() {

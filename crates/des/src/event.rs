@@ -281,7 +281,11 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_secs(5));
         sim.run_until(SimTime::from_secs(20));
         assert_eq!(*hits.borrow(), vec![1, 5, 10]);
-        assert_eq!(sim.now(), SimTime::from_secs(20), "clock advances to deadline");
+        assert_eq!(
+            sim.now(),
+            SimTime::from_secs(20),
+            "clock advances to deadline"
+        );
     }
 
     #[test]

@@ -67,13 +67,23 @@ impl DrcManager {
         let cred = Credential(self.next);
         let mut granted = HashSet::new();
         granted.insert(job);
-        self.credentials
-            .insert(cred, CredentialState { owner: job, granted });
+        self.credentials.insert(
+            cred,
+            CredentialState {
+                owner: job,
+                granted,
+            },
+        );
         cred
     }
 
     /// Grant `grantee` access to `cred`; only the owner may grant.
-    pub fn grant(&mut self, cred: Credential, owner: JobToken, grantee: JobToken) -> Result<(), DrcError> {
+    pub fn grant(
+        &mut self,
+        cred: Credential,
+        owner: JobToken,
+        grantee: JobToken,
+    ) -> Result<(), DrcError> {
         let state = self
             .credentials
             .get_mut(&cred)
@@ -86,7 +96,12 @@ impl DrcManager {
     }
 
     /// Revoke a grant (used when a lease is cancelled).
-    pub fn revoke(&mut self, cred: Credential, owner: JobToken, grantee: JobToken) -> Result<(), DrcError> {
+    pub fn revoke(
+        &mut self,
+        cred: Credential,
+        owner: JobToken,
+        grantee: JobToken,
+    ) -> Result<(), DrcError> {
         let state = self
             .credentials
             .get_mut(&cred)
@@ -149,10 +164,16 @@ mod tests {
     fn cross_job_requires_grant() {
         let mut drc = DrcManager::new();
         let cred = drc.allocate(CLIENT);
-        assert_eq!(drc.validate(cred, EXECUTOR).unwrap_err(), DrcError::NotGranted);
+        assert_eq!(
+            drc.validate(cred, EXECUTOR).unwrap_err(),
+            DrcError::NotGranted
+        );
         drc.grant(cred, CLIENT, EXECUTOR).unwrap();
         assert!(drc.validate(cred, EXECUTOR).is_ok());
-        assert_eq!(drc.validate(cred, INTRUDER).unwrap_err(), DrcError::NotGranted);
+        assert_eq!(
+            drc.validate(cred, INTRUDER).unwrap_err(),
+            DrcError::NotGranted
+        );
     }
 
     #[test]
@@ -165,7 +186,10 @@ mod tests {
         );
         assert_eq!(drc.release(cred, EXECUTOR).unwrap_err(), DrcError::NotOwner);
         assert!(drc.release(cred, CLIENT).is_ok());
-        assert_eq!(drc.release(cred, CLIENT).unwrap_err(), DrcError::AlreadyReleased);
+        assert_eq!(
+            drc.release(cred, CLIENT).unwrap_err(),
+            DrcError::AlreadyReleased
+        );
     }
 
     #[test]
@@ -174,7 +198,10 @@ mod tests {
         let cred = drc.allocate(CLIENT);
         drc.grant(cred, CLIENT, EXECUTOR).unwrap();
         drc.revoke(cred, CLIENT, EXECUTOR).unwrap();
-        assert_eq!(drc.validate(cred, EXECUTOR).unwrap_err(), DrcError::NotGranted);
+        assert_eq!(
+            drc.validate(cred, EXECUTOR).unwrap_err(),
+            DrcError::NotGranted
+        );
         // Owner cannot revoke itself into a locked-out state.
         drc.revoke(cred, CLIENT, CLIENT).unwrap();
         assert!(drc.validate(cred, CLIENT).is_ok());

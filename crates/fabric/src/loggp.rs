@@ -191,7 +191,10 @@ mod tests {
     fn small_message_latency_is_microseconds() {
         let p = LogGpParams::ugni();
         let t = p.one_way(8, CompletionMode::BusyPoll);
-        assert!(t >= SimTime::from_micros(1) && t <= SimTime::from_micros(5), "{t}");
+        assert!(
+            t >= SimTime::from_micros(1) && t <= SimTime::from_micros(5),
+            "{t}"
+        );
     }
 
     #[test]
@@ -207,7 +210,11 @@ mod tests {
 
     #[test]
     fn cost_is_monotone_in_size() {
-        for p in [LogGpParams::ugni(), LogGpParams::ibverbs(), LogGpParams::tcp()] {
+        for p in [
+            LogGpParams::ugni(),
+            LogGpParams::ibverbs(),
+            LogGpParams::tcp(),
+        ] {
             let mut prev = SimTime::ZERO;
             for size in [0usize, 1, 64, 1024, 8192, 65536, 1 << 20] {
                 let t = p.one_way(size, CompletionMode::BusyPoll);
@@ -254,10 +261,7 @@ mod tests {
     #[test]
     fn injection_interval_respects_gap_floor() {
         let p = LogGpParams::ugni();
-        assert_eq!(
-            p.injection_interval(1),
-            SimTime::from_micros_f64(p.gap_us)
-        );
+        assert_eq!(p.injection_interval(1), SimTime::from_micros_f64(p.gap_us));
         let big = p.injection_interval(1 << 20);
         assert!(big > SimTime::from_micros_f64(p.gap_us));
     }

@@ -93,7 +93,10 @@ mod tests {
             .round_trip(64, 64, CompletionMode::BusyPoll)
             .as_micros_f64();
         let med = dist.median();
-        assert!((med - model).abs() / model < 0.05, "median={med} model={model}");
+        assert!(
+            (med - model).abs() / model < 0.05,
+            "median={med} model={model}"
+        );
     }
 
     #[test]
@@ -125,7 +128,11 @@ mod tests {
         let busy = latency_sweep(&p, CompletionMode::BusyPoll, &fig7_sizes(), 300, &mut r1);
         let wait = latency_sweep(&p, CompletionMode::EventWait, &fig7_sizes(), 300, &mut r2);
         for (b, w) in busy.iter().zip(&wait) {
-            assert!(w.median_us > b.median_us + 5.0, "wakeup penalty visible at {}B", b.size_bytes);
+            assert!(
+                w.median_us > b.median_us + 5.0,
+                "wakeup penalty visible at {}B",
+                b.size_bytes
+            );
         }
     }
 

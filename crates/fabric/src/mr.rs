@@ -275,7 +275,10 @@ mod tests {
             MrError::AccessDenied
         );
         let (t2, key2) = table_with_region(AccessFlags::REMOTE_WRITE);
-        assert_eq!(t2.remote_read(key2, 0, 4).unwrap_err(), MrError::AccessDenied);
+        assert_eq!(
+            t2.remote_read(key2, 0, 4).unwrap_err(),
+            MrError::AccessDenied
+        );
     }
 
     #[test]

@@ -84,7 +84,14 @@ impl Network {
     fn flows_at(&self, node: NodeId, outgoing: bool) -> usize {
         self.flows
             .values()
-            .filter(|f| f.src != f.dst && (if outgoing { f.src == node } else { f.dst == node }))
+            .filter(|f| {
+                f.src != f.dst
+                    && (if outgoing {
+                        f.src == node
+                    } else {
+                        f.dst == node
+                    })
+            })
             .count()
     }
 

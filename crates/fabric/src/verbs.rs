@@ -80,7 +80,10 @@ pub struct Fabric {
 impl Fabric {
     pub fn new(transport: Transport, nodes: usize) -> Self {
         let params = LogGpParams::for_transport(transport);
-        let network = Network::new(params.bandwidth_bps(), params.bandwidth_bps() * nodes as f64 * 0.6);
+        let network = Network::new(
+            params.bandwidth_bps(),
+            params.bandwidth_bps() * nodes as f64 * 0.6,
+        );
         Fabric {
             params,
             regions: RegionTable::new(),
@@ -107,8 +110,7 @@ impl Fabric {
     pub fn connect_cost(&self) -> SimTime {
         // QP exchange: 2 control messages + endpoint allocation (~100 us on
         // real hardware: memory registration, CQ creation).
-        self.params.round_trip(256, 256, CompletionMode::EventWait)
-            + SimTime::from_micros(95)
+        self.params.round_trip(256, 256, CompletionMode::EventWait) + SimTime::from_micros(95)
     }
 
     /// Establish a connected queue pair. Validates the credential.
@@ -222,7 +224,13 @@ mod tests {
         let cred = fabric.drc.allocate(exec_job);
         fabric.drc.grant(cred, exec_job, client_job).unwrap();
         let (qp, _t) = fabric
-            .connect(NodeId(0), NodeId(1), cred, client_job, CompletionMode::BusyPoll)
+            .connect(
+                NodeId(0),
+                NodeId(1),
+                cred,
+                client_job,
+                CompletionMode::BusyPoll,
+            )
             .unwrap();
         let mr = fabric.register_buffer(NodeId(1), 4096);
         (fabric, qp, mr)
@@ -243,7 +251,13 @@ mod tests {
         let mut fabric = Fabric::new(Transport::Ugni, 4);
         let cred = fabric.drc.allocate(JobToken(2));
         let err = fabric
-            .connect(NodeId(0), NodeId(1), cred, JobToken(99), CompletionMode::BusyPoll)
+            .connect(
+                NodeId(0),
+                NodeId(1),
+                cred,
+                JobToken(99),
+                CompletionMode::BusyPoll,
+            )
             .unwrap_err();
         assert_eq!(err, VerbsError::Drc(DrcError::NotGranted));
     }
@@ -261,7 +275,10 @@ mod tests {
     #[test]
     fn revoked_credential_stops_traffic() {
         let (mut fabric, qp, mr) = setup();
-        fabric.drc.revoke(qp.credential, JobToken(2), JobToken(1)).unwrap();
+        fabric
+            .drc
+            .revoke(qp.credential, JobToken(2), JobToken(1))
+            .unwrap();
         assert!(matches!(
             fabric.rdma_read(&qp, mr, 0, 8).unwrap_err(),
             VerbsError::Drc(DrcError::NotGranted)

@@ -20,7 +20,7 @@ proptest! {
                 prop_assert!(offset + len <= size);
                 prop_assert_eq!(data.len(), len);
             }
-            Err(_) => prop_assert!(offset.checked_add(len).map_or(true, |end| end > size)),
+            Err(_) => prop_assert!(offset.checked_add(len).is_none_or(|end| end > size)),
         }
     }
 

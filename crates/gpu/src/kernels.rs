@@ -174,7 +174,14 @@ mod tests {
         let names: Vec<&str> = RodiniaBenchmark::ALL.iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
-            vec!["bfs", "gaussian", "hotspot", "myocyte", "pathfinder", "srad-v1"]
+            vec![
+                "bfs",
+                "gaussian",
+                "hotspot",
+                "myocyte",
+                "pathfinder",
+                "srad-v1"
+            ]
         );
     }
 }

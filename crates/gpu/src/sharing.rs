@@ -53,11 +53,7 @@ impl GpuAssignment {
 
     /// Free slots on a node.
     pub fn free_on(&self, node: u32) -> u32 {
-        let used = self
-            .assigned
-            .keys()
-            .filter(|(n, _, _)| *n == node)
-            .count() as u32;
+        let used = self.assigned.keys().filter(|(n, _, _)| *n == node).count() as u32;
         self.slots_per_node() - used
     }
 
@@ -66,8 +62,8 @@ impl GpuAssignment {
         for dev in 0..self.devices_per_node {
             for part in 0..self.partitions_per_device() {
                 let key = (node, dev, part);
-                if !self.assigned.contains_key(&key) {
-                    self.assigned.insert(key, holder);
+                if let std::collections::hash_map::Entry::Vacant(e) = self.assigned.entry(key) {
+                    e.insert(holder);
                     return Some(key);
                 }
             }

@@ -47,9 +47,7 @@ impl ColocationHistory {
 
     /// Number of observations for a pair.
     pub fn observations(&self, a: &str, b: &str) -> usize {
-        self.records
-            .get(&pair_key(a, b))
-            .map_or(0, |v| v.len())
+        self.records.get(&pair_key(a, b)).map_or(0, |v| v.len())
     }
 
     /// Mean batch-job overhead for a pair, if any history exists.
@@ -131,9 +129,23 @@ mod tests {
     fn coverage_ranking() {
         let mut h = ColocationHistory::new();
         for _ in 0..3 {
-            h.record("milc", "cg", ColocationRecord { batch_overhead_pct: 1.0, function_overhead_pct: 1.0 });
+            h.record(
+                "milc",
+                "cg",
+                ColocationRecord {
+                    batch_overhead_pct: 1.0,
+                    function_overhead_pct: 1.0,
+                },
+            );
         }
-        h.record("lulesh", "ep", ColocationRecord { batch_overhead_pct: 1.0, function_overhead_pct: 1.0 });
+        h.record(
+            "lulesh",
+            "ep",
+            ColocationRecord {
+                batch_overhead_pct: 1.0,
+                function_overhead_pct: 1.0,
+            },
+        );
         let pairs = h.pairs_by_coverage();
         assert_eq!(pairs.len(), 2);
         assert_eq!(pairs[0].1, 3);

@@ -167,11 +167,7 @@ pub fn slowdowns_with(capacity: &NodeCapacity, demands: &[Demand], p: &ModelPara
         .map(|d| 1.0 + (d.cache_reuse * p.llc_alpha * overflow).min(p.llc_amp_max - 1.0))
         .collect();
 
-    let total_membw: f64 = demands
-        .iter()
-        .zip(&amp)
-        .map(|(d, a)| d.membw_bps * a)
-        .sum();
+    let total_membw: f64 = demands.iter().zip(&amp).map(|(d, a)| d.membw_bps * a).sum();
     let rho_mem = total_membw / capacity.membw_bps;
     let s_mem = membw_stretch(rho_mem, p.membw_beta);
 

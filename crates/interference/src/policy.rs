@@ -119,7 +119,9 @@ impl ColocationPolicy {
         }
 
         // History path.
-        if self.history.observations(&batch_on_node.name, &function.name)
+        if self
+            .history
+            .observations(&batch_on_node.name, &function.name)
             >= self.config.min_history_observations
         {
             let overhead = self

@@ -62,7 +62,11 @@ impl PricingModel {
         overhead_pct: f64,
     ) -> f64 {
         let excl = self.exclusive_cost(node_cores, nodes, hours);
-        let shared = self.shared_cost(requested_cores, hours * (1.0 + overhead_pct / 100.0), overhead_pct);
+        let shared = self.shared_cost(
+            requested_cores,
+            hours * (1.0 + overhead_pct / 100.0),
+            overhead_pct,
+        );
         1.0 - shared / excl
     }
 }
@@ -93,7 +97,10 @@ mod tests {
         let clean = p.shared_cost(32, 1.0, 0.0);
         let perturbed = p.shared_cost(32, 1.0, 3.0);
         assert!(perturbed < clean);
-        assert!((clean - perturbed) / clean > 0.02, "≥2% compensation for 3% overhead");
+        assert!(
+            (clean - perturbed) / clean > 0.02,
+            "≥2% compensation for 3% overhead"
+        );
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub struct WorkloadProfile {
 }
 
 impl WorkloadProfile {
+    /// One argument per demand-vector column; a builder would obscure the
+    /// correspondence with the calibration tables below.
+    #[allow(clippy::too_many_arguments)]
     fn mk(
         name: String,
         membw: f64,
@@ -122,7 +125,16 @@ impl WorkloadProfile {
             // LU factorisation: pipelined stencil, moderate reuse.
             NasKernel::Lu => Self::mk(name, 2.7e9, 7.0 * s, 0.65, 0.25e9, 0.52, 0.04, 1.6 * s),
             // Multigrid: bandwidth-bound V-cycles, large working set.
-            NasKernel::Mg => Self::mk(name, 4.8e9, 9.0 * s, 0.50, 0.55e9, 0.68, 0.05, 0.13 * s / 0.25),
+            NasKernel::Mg => Self::mk(
+                name,
+                4.8e9,
+                9.0 * s,
+                0.50,
+                0.55e9,
+                0.68,
+                0.05,
+                0.13 * s / 0.25,
+            ),
         }
     }
 
@@ -170,6 +182,7 @@ impl WorkloadProfile {
     /// their spacing.
     pub fn memory_service(chunk_mb: f64, interval_ms: f64) -> Self {
         let avg_rate = chunk_mb * 1e6 / (interval_ms / 1e3); // sustained B/s
+
         // Burst pressure at the memory controller: NIC DMA at line rate, felt
         // while a transfer is in flight; floor keeps the sustained component.
         let burst = 22e9_f64;

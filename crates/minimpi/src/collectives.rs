@@ -56,7 +56,11 @@ impl Comm {
         }
         // Send phase: children are vrank + 2^k for 2^k below lsb (or below
         // mask for the root).
-        let lsb = if vrank == 0 { mask } else { vrank & vrank.wrapping_neg() };
+        let lsb = if vrank == 0 {
+            mask
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let v = val.expect("value present after receive phase");
         let mut k = lsb >> 1;
         while k > 0 {
@@ -119,9 +123,9 @@ impl Comm {
             let n = self.size();
             let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
             slots[root] = Some(value);
-            for src in 0..n {
+            for (src, slot) in slots.iter_mut().enumerate() {
                 if src != root {
-                    slots[src] = Some(self.recv_raw::<T>(src, tag).expect("gather src alive"));
+                    *slot = Some(self.recv_raw::<T>(src, tag).expect("gather src alive"));
                 }
             }
             Some(slots.into_iter().map(|s| s.expect("filled")).collect())
@@ -174,9 +178,9 @@ impl Comm {
                 self.send_raw(dst, tag, v);
             }
         }
-        for src in 0..n {
+        for (src, slot) in out.iter_mut().enumerate() {
             if src != me {
-                out[src] = Some(self.recv_raw::<T>(src, tag).expect("alltoall src alive"));
+                *slot = Some(self.recv_raw::<T>(src, tag).expect("alltoall src alive"));
             }
         }
         out.into_iter().map(|s| s.expect("filled")).collect()
@@ -240,7 +244,9 @@ mod tests {
     #[test]
     fn reduce_sum_matches_serial() {
         for n in [1usize, 2, 3, 6, 9, 16] {
-            let out = World::run(n, |comm| comm.reduce(0, comm.rank() as u64 + 1, |a, b| a + b));
+            let out = World::run(n, |comm| {
+                comm.reduce(0, comm.rank() as u64 + 1, |a, b| a + b)
+            });
             let expect = (n * (n + 1) / 2) as u64;
             assert_eq!(out[0], Some(expect), "n={n}");
             for r in &out[1..] {

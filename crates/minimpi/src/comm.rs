@@ -91,7 +91,11 @@ impl Comm {
     }
 
     pub(crate) fn send_raw<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
-        assert!(dst < self.size, "rank {dst} out of range (size {})", self.size);
+        assert!(
+            dst < self.size,
+            "rank {dst} out of range (size {})",
+            self.size
+        );
         // A send to a finished rank is a no-op rather than a panic: during
         // teardown of elastic pools late messages are harmless.
         let _ = self.senders[dst].send(Envelope {

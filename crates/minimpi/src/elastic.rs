@@ -134,7 +134,10 @@ impl<T: Send + 'static, R: Send + 'static> ElasticPool<T, R> {
 
     /// Block for the next completed task: `(task_id, worker_id, result)`.
     pub fn next_result(&mut self) -> (u64, usize, R) {
-        let c = self.result_rx.recv().expect("workers alive or queue nonempty");
+        let c = self
+            .result_rx
+            .recv()
+            .expect("workers alive or queue nonempty");
         self.in_flight -= 1;
         (c.task_id, c.worker, c.result)
     }

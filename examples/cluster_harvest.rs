@@ -14,8 +14,14 @@ use hpc_serverless_disagg::rfaas::{ExecutorMode, Platform};
 
 fn main() {
     let mut platform = Platform::daint(8);
-    platform.bridge.sync(&platform.cluster, &mut platform.manager);
-    println!("t={}: {} idle nodes donated", platform.now, platform.manager.registered_nodes());
+    platform
+        .bridge
+        .sync(&platform.cluster, &mut platform.manager);
+    println!(
+        "t={}: {} idle nodes donated",
+        platform.now,
+        platform.manager.registered_nodes()
+    );
 
     // A function workload keeps nibbling at whatever capacity exists.
     let bt = WorkloadProfile::nas(NasKernel::Bt, NasClass::W);
@@ -53,7 +59,12 @@ fn main() {
 
     // One more 2-node job: the pool shrinks again; leases on reclaimed
     // nodes are cancelled and the client redirects transparently.
-    let spec = JobSpec::exclusive(2, NodeResources::daint_mc(), SimTime::from_mins(30), "batch-3");
+    let spec = JobSpec::exclusive(
+        2,
+        NodeResources::daint_mc(),
+        SimTime::from_mins(30),
+        "batch-3",
+    );
     let last = platform.submit_job(spec, SimTime::from_mins(20));
     println!(
         "t={}: 4th job running, donations: {} (client redirects: {})",

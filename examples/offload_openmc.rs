@@ -74,7 +74,11 @@ fn main() {
     // Drain one worker mid-flight (lease cancellation) and keep going.
     let mut h = handles.pop().expect("workers exist");
     pool.drain_worker(&mut h);
-    println!("worker {} drained gracefully; {} remain", h.id, pool.workers());
+    println!(
+        "worker {} drained gracefully; {} remain",
+        h.id,
+        pool.workers()
+    );
     for i in 0..4 {
         pool.submit((5000 + i, batch));
     }

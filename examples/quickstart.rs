@@ -13,7 +13,9 @@ fn main() {
     // A four-node cluster; every node is idle, so after the bridge sync the
     // serverless resource manager owns all of them.
     let mut platform = Platform::daint(4);
-    platform.bridge.sync(&platform.cluster, &mut platform.manager);
+    platform
+        .bridge
+        .sync(&platform.cluster, &mut platform.manager);
     println!(
         "donated nodes: {} (all idle)",
         platform.manager.registered_nodes()

@@ -75,7 +75,10 @@ fn idle_to_shared_transition_reregisters_donation() {
             ),
             "donation must reflect the shared job"
         );
-        assert!((d.capacity.cores - 4.0).abs() < 1e-9, "only the spare slice");
+        assert!(
+            (d.capacity.cores - 4.0).abs() < 1e-9,
+            "only the spare slice"
+        );
         assert!(d.batch_demand.is_some());
     }
 

@@ -33,7 +33,9 @@ fn claim_remote_memory_sustains_1gbps() {
         RemoteMemoryClient::connect(&mut fabric, &svc, NodeId(0), JobToken(2)).unwrap();
     let chunk = vec![0u8; 10 << 20];
     for i in 0..20 {
-        client.write(&mut fabric, (i % 100) * (10 << 20), &chunk).unwrap();
+        client
+            .write(&mut fabric, (i % 100) * (10 << 20), &chunk)
+            .unwrap();
     }
     assert!(client.achieved_bps() > 1e9, "{} B/s", client.achieved_bps());
 }
@@ -44,10 +46,25 @@ fn claim_throughput_improvement_up_to_53_pct() {
     // terms, disaggregated utilization over realistic exclusive allocation.
     // LULESH takes 64 of 72 cores; the CG.B stream fills 8 more; the
     // realistic schedule burns a third node.
+    //
+    // Documented deviation from the paper: this clean core-count arithmetic
+    // gives exactly (72/72)/(72/108) − 1 = 0.50, not 0.53. The paper's 53%
+    // headline additionally folds in batch-queue waits that exclusive NAS
+    // jobs suffer and co-located functions skip (see fig10_utilization),
+    // which this closed-form check deliberately excludes. 50% is therefore
+    // the correct expectation here, inside the paper's "up to 53%" bound,
+    // and the tolerance is centred on it.
     let disagg: f64 = (64.0 + 8.0) / 72.0;
     let realistic = (64.0 + 8.0) / 108.0;
     let improvement = disagg / realistic - 1.0;
-    assert!((improvement - 0.50).abs() < 0.02, "improvement={improvement}");
+    assert!(
+        (improvement - 0.50).abs() < 0.02,
+        "improvement={improvement}"
+    );
+    assert!(
+        improvement <= 0.53 + 1e-9,
+        "must stay within the paper's 'up to 53%' claim: {improvement}"
+    );
 }
 
 #[test]
@@ -112,11 +129,23 @@ fn claim_ugni_needs_drc_for_cross_job_communication() {
     let cred = fabric.drc.allocate(executor_job);
     // Without a grant the client cannot connect.
     assert!(fabric
-        .connect(NodeId(0), NodeId(1), cred, client_job, CompletionMode::BusyPoll)
+        .connect(
+            NodeId(0),
+            NodeId(1),
+            cred,
+            client_job,
+            CompletionMode::BusyPoll
+        )
         .is_err());
     fabric.drc.grant(cred, executor_job, client_job).unwrap();
     assert!(fabric
-        .connect(NodeId(0), NodeId(1), cred, client_job, CompletionMode::BusyPoll)
+        .connect(
+            NodeId(0),
+            NodeId(1),
+            cred,
+            client_job,
+            CompletionMode::BusyPoll
+        )
         .is_ok());
 }
 
@@ -137,7 +166,10 @@ fn claim_short_idle_windows_are_usable() {
         p.invoke(&mut client, 8 << 10, 512).unwrap();
         served += 1;
     }
-    assert!(served >= 50, "a 5-minute window served {served} BT.W functions");
+    assert!(
+        served >= 50,
+        "a 5-minute window served {served} BT.W functions"
+    );
     // Drain: graceful reclaim leaves no active leases.
     let report = p.manager.remove_resources(NodeId(0), false);
     assert!(report.graceful);

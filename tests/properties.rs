@@ -19,16 +19,18 @@ fn arb_demand() -> impl Strategy<Value = Demand> {
         0.0f64..0.9,
         0.0f64..0.1,
     )
-        .prop_map(|(cores, membw, llc, reuse, net, mem_frac, net_frac)| Demand {
-            name: "w".into(),
-            cores,
-            membw_bps: membw,
-            llc_mb: llc,
-            cache_reuse: reuse,
-            net_bps: net,
-            mem_frac,
-            net_frac,
-        })
+        .prop_map(
+            |(cores, membw, llc, reuse, net, mem_frac, net_frac)| Demand {
+                name: "w".into(),
+                cores,
+                membw_bps: membw,
+                llc_mb: llc,
+                cache_reuse: reuse,
+                net_bps: net,
+                mem_frac,
+                net_frac,
+            },
+        )
 }
 
 proptest! {
