@@ -1,136 +1,9 @@
 //! FIG1 — Piz Daint utilization, March 2022 (Fig. 1a–c).
 //!
-//! Replays a month-long synthetic trace calibrated to the paper's published
-//! statistics against the SLURM-like scheduler, sampling every two minutes
-//! exactly as the paper's measurement script did, and reports:
-//!  (a) the idle-CPU-core rate series,
-//!  (b) the memory-usage split,
-//!  (c) idle-period durations under minimal/maximal discrete estimation.
-
-use bench::paper::FIG1;
-use bench::{banner, compare, fmt, print_table, write_json};
-use cluster::{simulate_trace, TraceProfile};
-use des::SimTime;
+//! Thin wrapper: the experiment is `scenarios::scenarios::fig01`,
+//! registered as `fig01_utilization`; run it via this binary or
+//! `scenarios run fig01_utilization` for multi-seed sweeps.
 
 fn main() {
-    let seed = 42;
-    banner(
-        "FIG1",
-        "Piz Daint utilization: idle CPUs, memory split, idle periods",
-    );
-    println!("seed = {seed}; horizon = 14 simulated days (scaled month), 1800 nodes");
-
-    let profile = TraceProfile::piz_daint();
-    let out = simulate_trace(&profile, SimTime::from_days(14), seed);
-    let r = &out.report;
-
-    // Fig. 1a: idle CPU series summary.
-    let idle: Vec<f64> = r.idle_cpu_pct.iter().map(|(_, v)| *v).collect();
-    let mean_idle = idle.iter().sum::<f64>() / idle.len().max(1) as f64;
-    let max_idle = idle.iter().cloned().fold(0.0, f64::max);
-    print_table(
-        "Fig. 1a — idle CPU core rate (%)",
-        &["metric", "paper", "ours"],
-        &[
-            vec![
-                "range".into(),
-                "0–40%".into(),
-                format!("0–{}", fmt(max_idle)),
-            ],
-            vec![
-                "mean utilization".into(),
-                "80–94% band".into(),
-                fmt(out.mean_core_utilization_pct),
-            ],
-            vec!["mean idle".into(), "~6–20%".into(), fmt(mean_idle)],
-        ],
-    );
-
-    // Fig. 1b: memory split.
-    let (mut used, mut fa, mut fi) = (0.0, 0.0, 0.0);
-    for (_, u, a, i) in &r.memory_split_pct {
-        used += u;
-        fa += a;
-        fi += i;
-    }
-    let n = r.memory_split_pct.len().max(1) as f64;
-    print_table(
-        "Fig. 1b — memory split (% of system memory, time-averaged)",
-        &["series", "paper", "ours"],
-        &[
-            vec![
-                "used memory".into(),
-                format!("~{}%", FIG1.mean_memory_used_pct),
-                fmt(used / n),
-            ],
-            vec![
-                "free in allocated nodes".into(),
-                "~55–65%".into(),
-                fmt(fa / n),
-            ],
-            vec!["free in idle nodes".into(), "~10–20%".into(), fmt(fi / n)],
-        ],
-    );
-
-    // Fig. 1c: idle periods.
-    let scale = profile.nodes as f64 / 5704.0; // our cluster is scaled down
-    print_table(
-        "Fig. 1c — idle-node periods (discrete 2-min sampling)",
-        &["metric", "paper", "ours"],
-        &[
-            vec![
-                "median idle nodes (scaled)".into(),
-                fmt(FIG1.median_idle_nodes * scale),
-                fmt(r.median_idle_nodes),
-            ],
-            vec![
-                "median availability [min], exact".into(),
-                format!(
-                    "{}–{}",
-                    FIG1.median_availability_min.0, FIG1.median_availability_min.1
-                ),
-                fmt(r.exact.median_min),
-            ],
-            vec![
-                "median availability [min], min est.".into(),
-                fmt(FIG1.median_availability_min.0),
-                fmt(r.minimal_estimation.median_min),
-            ],
-            vec![
-                "median availability [min], max est.".into(),
-                fmt(FIG1.median_availability_min.1),
-                fmt(r.maximal_estimation.median_min),
-            ],
-            vec![
-                "idle events < 10 min (min est.)".into(),
-                format!(
-                    "{}–{}",
-                    FIG1.frac_idle_below_10min.0, FIG1.frac_idle_below_10min.1
-                ),
-                fmt(r.minimal_estimation.frac_below_10min),
-            ],
-            vec![
-                "idle events < 10 min (max est.)".into(),
-                format!(
-                    "{}–{}",
-                    FIG1.frac_idle_below_10min.0, FIG1.frac_idle_below_10min.1
-                ),
-                fmt(r.maximal_estimation.frac_below_10min),
-            ],
-            vec![
-                "idle events recorded (min est.)".into(),
-                "~100k-150k/month".into(),
-                format!("{}", r.minimal_estimation.events),
-            ],
-        ],
-    );
-
-    println!(
-        "\njobs: {} submitted, {} completed; comparison (median idle nodes): {}",
-        out.jobs_submitted,
-        out.jobs_completed,
-        compare(FIG1.median_idle_nodes * scale, r.median_idle_nodes)
-    );
-
-    write_json("fig01_utilization", &out);
+    bench::report_scenario("fig01_utilization");
 }

@@ -1,138 +1,9 @@
 //! FIG7 — invocation latency of rFaaS vs raw libfabric (Fig. 7).
 //!
-//! Four series over message sizes 1 B – 4 KiB, median and 95th percentile:
-//! uGNI busy-poll, uGNI queue-wait (the libfabric baselines), rFaaS hot and
-//! rFaaS warm invocations of a no-op function.
-
-use bench::{banner, fmt, print_table, write_json};
-use des::{Percentiles, RngStream, SimTime};
-use fabric::microbench::{fig7_sizes, ping_pong};
-use fabric::{CompletionMode, LogGpParams};
-use rfaas::{Executor, ExecutorMode, FunctionRegistry};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    size: usize,
-    ugni_busy_med: f64,
-    ugni_busy_p95: f64,
-    ugni_wait_med: f64,
-    ugni_wait_p95: f64,
-    rfaas_hot_med: f64,
-    rfaas_hot_p95: f64,
-    rfaas_warm_med: f64,
-    rfaas_warm_p95: f64,
-}
-
-/// Distribution of rFaaS invocation latencies for a no-op function.
-fn rfaas_distribution(
-    mode: ExecutorMode,
-    size: usize,
-    reps: usize,
-    rng: &mut RngStream,
-) -> Percentiles {
-    let params = LogGpParams::ugni();
-    let mut reg = FunctionRegistry::new();
-    let id = reg.register_noop();
-    let def = reg.get(id).unwrap().clone();
-    let mut ex = Executor::new(def, mode);
-    ex.adopt_warm_container();
-    let mut p = Percentiles::new();
-    let straggler_p = match mode {
-        ExecutorMode::Hot => 0.01,
-        ExecutorMode::Warm => 0.06,
-    };
-    for _ in 0..reps {
-        let t = ex.invoke(&params, size, size, 1.0).total();
-        let mut us = t.as_micros_f64() * rng.jitter(params.jitter_rel_std);
-        if rng.chance(straggler_p) {
-            us += rng.exponential(t.as_micros_f64() * 0.8);
-        }
-        p.push(us);
-    }
-    p
-}
+//! Thin wrapper: the experiment is `scenarios::scenarios::fig07`,
+//! registered as `fig07_latency`; run it via this binary or
+//! `scenarios run fig07_latency` for multi-seed sweeps.
 
 fn main() {
-    let seed = 42;
-    let reps = 2000;
-    banner(
-        "FIG7",
-        "rFaaS invocation latency vs libfabric (uGNI), 1 B – 4 KiB",
-    );
-    println!("seed = {seed}; {reps} repetitions per point; values in µs");
-
-    let params = LogGpParams::ugni();
-    let mut rng = RngStream::derive(seed, "fig7");
-    let mut rows = Vec::new();
-    for size in fig7_sizes() {
-        let mut busy = ping_pong(&params, CompletionMode::BusyPoll, size, reps, &mut rng);
-        let mut wait = ping_pong(&params, CompletionMode::EventWait, size, reps, &mut rng);
-        let mut hot = rfaas_distribution(ExecutorMode::Hot, size, reps, &mut rng);
-        let mut warm = rfaas_distribution(ExecutorMode::Warm, size, reps, &mut rng);
-        rows.push(Row {
-            size,
-            ugni_busy_med: busy.median(),
-            ugni_busy_p95: busy.p95(),
-            ugni_wait_med: wait.median(),
-            ugni_wait_p95: wait.p95(),
-            rfaas_hot_med: hot.median(),
-            rfaas_hot_p95: hot.p95(),
-            rfaas_warm_med: warm.median(),
-            rfaas_warm_p95: warm.p95(),
-        });
-    }
-
-    print_table(
-        "Fig. 7 — median (p95) invocation latency [µs]",
-        &[
-            "size [B]",
-            "uGNI busy poll",
-            "uGNI queue wait",
-            "rFaaS hot",
-            "rFaaS warm",
-        ],
-        &rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.size.to_string(),
-                    format!("{} ({})", fmt(r.ugni_busy_med), fmt(r.ugni_busy_p95)),
-                    format!("{} ({})", fmt(r.ugni_wait_med), fmt(r.ugni_wait_p95)),
-                    format!("{} ({})", fmt(r.rfaas_hot_med), fmt(r.rfaas_hot_p95)),
-                    format!("{} ({})", fmt(r.rfaas_warm_med), fmt(r.rfaas_warm_p95)),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    );
-
-    // Shape checks the paper emphasises.
-    let small = &rows[0];
-    let hot_overhead = small.rfaas_hot_med - small.ugni_busy_med;
-    println!("\nshape checks (paper's qualitative claims):");
-    println!(
-        "  hot ≈ bare-metal transport: overhead at 1 B = {} µs ({}%)",
-        fmt(hot_overhead),
-        fmt(100.0 * hot_overhead / small.ugni_busy_med)
-    );
-    println!(
-        "  warm > hot by the wakeup penalty: {} µs vs {} µs at 1 B",
-        fmt(small.rfaas_warm_med),
-        fmt(small.rfaas_hot_med)
-    );
-    println!(
-        "  single-digit µs hot invocations: median at 1 B = {} µs",
-        fmt(small.rfaas_hot_med)
-    );
-    assert!(
-        small.rfaas_hot_med < 12.0,
-        "hot path must stay microsecond-scale"
-    );
-    assert!(small.rfaas_warm_med > small.rfaas_hot_med);
-
-    // Sanity: monotone growth with size for the busy-poll series.
-    let t = SimTime::from_micros_f64(rows.last().unwrap().ugni_busy_med);
-    assert!(t > SimTime::from_micros_f64(rows[0].ugni_busy_med));
-
-    write_json("fig07_latency", &rows);
+    bench::report_scenario("fig07_latency");
 }

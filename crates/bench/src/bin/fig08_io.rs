@@ -1,103 +1,9 @@
 //! FIG8 — I/O performance on Piz Daint: Lustre vs MinIO (Fig. 8).
 //!
-//! Left panel: read latency, one reader, 1 KB – 1 GB.
-//! Right panel: per-reader throughput, 16 readers, 1 MB – 1 GB.
-
-use bench::{banner, fmt, print_table, write_json};
-use serde::Serialize;
-use storage::harness::{latency_sweep, throughput_sweep};
-use storage::{Lustre, ObjectStore};
-
-#[derive(Serialize)]
-struct Fig8 {
-    latency_one_reader: Vec<(u64, f64, f64)>,
-    throughput_16_readers: Vec<(u64, f64, f64)>,
-}
-
-fn size_label(b: u64) -> String {
-    if b >= 1 << 30 {
-        format!("{}GB", b >> 30)
-    } else if b >= 1 << 20 {
-        format!("{}MB", b >> 20)
-    } else {
-        format!("{}KB", b >> 10)
-    }
-}
+//! Thin wrapper: the experiment is `scenarios::scenarios::fig08`,
+//! registered as `fig08_io`; run it via this binary or
+//! `scenarios run fig08_io` for multi-seed sweeps.
 
 fn main() {
-    banner("FIG8", "Lustre parallel filesystem vs MinIO object storage");
-    let lustre = Lustre::piz_daint();
-    let minio = ObjectStore::minio_daint();
-
-    let lat = latency_sweep(&lustre, &minio);
-    print_table(
-        "Fig. 8 (left) — read latency, one reader [s]",
-        &["size", "MinIO", "Lustre", "winner"],
-        &lat.iter()
-            .map(|r| {
-                vec![
-                    size_label(r.size_bytes),
-                    fmt(r.object_store),
-                    fmt(r.lustre),
-                    if r.object_store < r.lustre {
-                        "MinIO"
-                    } else {
-                        "Lustre"
-                    }
-                    .to_string(),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    );
-
-    let thr = throughput_sweep(&lustre, &minio, 16);
-    print_table(
-        "Fig. 8 (right) — per-reader throughput, 16 readers [GB/s]",
-        &["size", "MinIO", "Lustre", "winner"],
-        &thr.iter()
-            .map(|r| {
-                vec![
-                    size_label(r.size_bytes),
-                    fmt(r.object_store),
-                    fmt(r.lustre),
-                    if r.object_store > r.lustre {
-                        "MinIO"
-                    } else {
-                        "Lustre"
-                    }
-                    .to_string(),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    );
-
-    println!("\nshape checks (the paper's claims):");
-    println!("  object storage delivers lower latency for smaller file sizes: MinIO wins ≤10MB");
-    println!("  Lustre achieves higher throughput at scale: Lustre wins the 16-reader 1GB point");
-    assert!(
-        lat[0].object_store < lat[0].lustre,
-        "small-file latency: MinIO wins"
-    );
-    assert!(
-        lat.last().unwrap().object_store > lat.last().unwrap().lustre,
-        "1 GB latency: Lustre wins"
-    );
-    assert!(
-        thr.last().unwrap().lustre > thr.last().unwrap().object_store,
-        "16-reader throughput at 1 GB: Lustre wins"
-    );
-
-    write_json(
-        "fig08_io",
-        &Fig8 {
-            latency_one_reader: lat
-                .iter()
-                .map(|r| (r.size_bytes, r.object_store, r.lustre))
-                .collect(),
-            throughput_16_readers: thr
-                .iter()
-                .map(|r| (r.size_bytes, r.object_store, r.lustre))
-                .collect(),
-        },
-    );
+    bench::report_scenario("fig08_io");
 }

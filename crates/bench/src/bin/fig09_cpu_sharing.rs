@@ -1,205 +1,9 @@
-//! FIG9 — overheads of batch jobs co-located with FaaS-like jobs sharing
-//! CPUs on idle cores (Fig. 9a–c).
+//! FIG9 — overheads of batch jobs co-located with FaaS-like jobs sharing CPUs (Fig. 9a–c).
 //!
-//! Setup mirrors the paper: LULESH with 64 MPI ranks on 2 nodes (32 of 36
-//! cores each) or MILC with 64 ranks, co-located with one NAS configuration
-//! (BT A 4, BT W 1, CG B 8, EP B 2, LU A 4, MG W 1) whose ranks are spread
-//! evenly across the two nodes. Ten repetitions with measurement noise;
-//! reported as mean ± std of the runtime overhead in percent.
-
-use bench::paper::{FIG9_NAS, LULESH_BASELINES, MILC_BASELINES};
-use bench::{banner, fmt, print_table, write_json};
-use des::RngStream;
-use interference::model::{colocation_overhead_pct, slowdowns, solo_slowdown};
-use interference::{Demand, NasClass, NasKernel, NodeCapacity, WorkloadProfile};
-use serde::Serialize;
-
-fn nas_profile(kernel: &str, class: &str) -> WorkloadProfile {
-    let k = match kernel {
-        "BT" => NasKernel::Bt,
-        "CG" => NasKernel::Cg,
-        "EP" => NasKernel::Ep,
-        "LU" => NasKernel::Lu,
-        "MG" => NasKernel::Mg,
-        _ => panic!("unknown kernel"),
-    };
-    let c = match class {
-        "W" => NasClass::W,
-        "A" => NasClass::A,
-        "B" => NasClass::B,
-        _ => panic!("unknown class"),
-    };
-    WorkloadProfile::nas(k, c)
-}
-
-/// Mean ± std over `reps` jittered repetitions of a modelled overhead.
-fn measured(overhead_pct: f64, rng: &mut RngStream, reps: usize, noise_pct: f64) -> (f64, f64) {
-    let mut stats = des::OnlineStats::new();
-    for _ in 0..reps {
-        stats.push(overhead_pct + rng.normal(0.0, noise_pct));
-    }
-    (stats.mean(), stats.std_dev())
-}
-
-#[derive(Serialize)]
-struct Entry {
-    batch: String,
-    nas: String,
-    batch_overhead_mean_pct: f64,
-    batch_overhead_std_pct: f64,
-    nas_overhead_mean_pct: f64,
-    nas_overhead_std_pct: f64,
-}
+//! Thin wrapper: the experiment is `scenarios::scenarios::fig09`,
+//! registered as `fig09_cpu_sharing`; run it via this binary or
+//! `scenarios run fig09_cpu_sharing` for multi-seed sweeps.
 
 fn main() {
-    let seed = 42;
-    banner(
-        "FIG9",
-        "CPU-sharing overheads: LULESH / MILC vs co-located NAS",
-    );
-    println!("seed = {seed}; 10 repetitions; mean ± std in percent\n");
-    let cap = NodeCapacity::daint_mc();
-    let mut rng = RngStream::derive(seed, "fig9");
-    let mut entries = Vec::new();
-
-    // The per-node victim demand: 32 ranks of LULESH or MILC.
-    let victims: Vec<(String, Demand)> = LULESH_BASELINES
-        .iter()
-        .map(|(size, _)| {
-            let p = WorkloadProfile::lulesh(*size);
-            (p.name.clone(), p.on_node(32))
-        })
-        .chain(
-            MILC_BASELINES
-                .iter()
-                .filter(|(s, _)| *s >= 96)
-                .map(|(size, _)| {
-                    let p = WorkloadProfile::milc(*size);
-                    (p.name.clone(), p.on_node(32))
-                }),
-        )
-        .collect();
-
-    for (kernel, class, ranks, nas_baseline_s) in FIG9_NAS {
-        let nas = nas_profile(kernel, class);
-        // NAS ranks spread across the two nodes; at least one per node.
-        let ranks_per_node = (ranks as f64 / 2.0).ceil() as u32;
-        let aggressor = nas.on_node(ranks_per_node);
-
-        for (victim_name, victim) in &victims {
-            let batch_over =
-                colocation_overhead_pct(&cap, victim, std::slice::from_ref(&aggressor));
-            // The NAS job's own slowdown relative to running alone on the node.
-            let both = slowdowns(&cap, &[victim.clone(), aggressor.clone()]);
-            let alone = solo_slowdown(&cap, &aggressor);
-            let nas_over = 100.0 * (both[1] / alone - 1.0);
-
-            let (bm, bs) = measured(batch_over, &mut rng, 10, 1.2);
-            // Short NAS runs show much larger run-to-run noise (Fig. 9b's
-            // ±20-40% error bars), scaled by 1/sqrt(runtime).
-            let nas_noise = 6.0 / nas_baseline_s.sqrt().max(0.25);
-            let (nm, ns) = measured(nas_over, &mut rng, 10, nas_noise * 3.0);
-            entries.push(Entry {
-                batch: victim_name.clone(),
-                nas: format!("({kernel}, {class}, {ranks})"),
-                batch_overhead_mean_pct: bm,
-                batch_overhead_std_pct: bs,
-                nas_overhead_mean_pct: nm,
-                nas_overhead_std_pct: ns,
-            });
-        }
-    }
-
-    // Fig. 9a: LULESH slowdown table.
-    for (prefix, title, paper_note) in [
-        (
-            "LULESH",
-            "Fig. 9a — slowdown of the LULESH batch job [%]",
-            "paper: within ±4% (measurement noise)",
-        ),
-        (
-            "MILC",
-            "Fig. 9c — slowdown of the MILC batch job [%]",
-            "paper: up to ~10-20%, larger for bigger problems",
-        ),
-    ] {
-        let mut headers = vec!["co-located NAS".to_string()];
-        let mut sizes: Vec<&String> = entries
-            .iter()
-            .filter(|e| e.batch.starts_with(prefix))
-            .map(|e| &e.batch)
-            .collect();
-        sizes.dedup();
-        headers.extend(sizes.iter().map(|s| s.to_string()));
-        let nas_configs: Vec<String> = {
-            let mut v: Vec<String> = entries.iter().map(|e| e.nas.clone()).collect();
-            v.dedup();
-            v
-        };
-        let rows: Vec<Vec<String>> = nas_configs
-            .iter()
-            .map(|nc| {
-                let mut row = vec![nc.clone()];
-                for size in &sizes {
-                    let e = entries
-                        .iter()
-                        .find(|e| &&e.batch == size && &e.nas == nc)
-                        .expect("entry");
-                    row.push(format!(
-                        "{} ± {}",
-                        fmt(e.batch_overhead_mean_pct),
-                        fmt(e.batch_overhead_std_pct)
-                    ));
-                }
-                row
-            })
-            .collect();
-        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-        print_table(title, &headers_ref, &rows);
-        println!("{paper_note}");
-    }
-
-    // Fig. 9b: the co-located FaaS-like app's own slowdown (vs LULESH-20).
-    let rows: Vec<Vec<String>> = entries
-        .iter()
-        .filter(|e| e.batch == "LULESH-s20")
-        .map(|e| {
-            vec![
-                e.nas.clone(),
-                format!(
-                    "{} ± {}",
-                    fmt(e.nas_overhead_mean_pct),
-                    fmt(e.nas_overhead_std_pct)
-                ),
-            ]
-        })
-        .collect();
-    print_table(
-        "Fig. 9b — slowdown of the co-located FaaS-like NAS job [%] (vs LULESH s=20)",
-        &["NAS config", "overhead"],
-        &rows,
-    );
-    println!("paper: up to ±40% for the short-running NAS side");
-
-    // Shape assertions.
-    let lulesh_max = entries
-        .iter()
-        .filter(|e| e.batch.starts_with("LULESH"))
-        .map(|e| e.batch_overhead_mean_pct)
-        .fold(0.0f64, f64::max);
-    let milc_max = entries
-        .iter()
-        .filter(|e| e.batch.starts_with("MILC"))
-        .map(|e| e.batch_overhead_mean_pct)
-        .fold(0.0f64, f64::max);
-    println!(
-        "\nshape: max LULESH overhead {}% (paper ≤ ~7%), max MILC overhead {}% (paper ≤ ~20%)",
-        fmt(lulesh_max),
-        fmt(milc_max)
-    );
-    assert!(lulesh_max < 10.0, "LULESH must stay nearly unaffected");
-    assert!(milc_max > lulesh_max, "MILC is the more sensitive victim");
-    assert!(milc_max < 35.0, "MILC perturbation stays moderate");
-
-    write_json("fig09_cpu_sharing", &entries);
+    bench::report_scenario("fig09_cpu_sharing");
 }

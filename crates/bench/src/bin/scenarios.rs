@@ -1,0 +1,253 @@
+//! `scenarios` — the unified scenario CLI.
+//!
+//! ```text
+//! scenarios list
+//! scenarios report <name> | --all
+//! scenarios run <name> | --all [--seeds N] [--threads K] [--json PATH]
+//!                              [--param k=v]... [--grid k=v1,v2,...]...
+//! ```
+//!
+//! `run` fans every `(grid point, seed)` across worker threads and prints
+//! mean/p50/p99 (±95% CI) aggregates per scenario; the full per-seed metrics
+//! go to a JSON artifact (default `target/figures/BENCH_scenarios.json`).
+//! Results are bit-identical for a given seed list regardless of `--threads`.
+
+use scenarios::report::fmt;
+use scenarios::{ParamValue, Params, Registry, SweepGrid, SweepResult, SweepRunner, SweepSuite};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  scenarios list
+  scenarios report <name> | --all
+  scenarios run <name> | --all [--seeds N] [--threads K] [--json PATH]
+                               [--param k=v]... [--grid k=v1,v2,...]...";
+
+struct RunOptions {
+    targets: Vec<String>,
+    all: bool,
+    seeds: usize,
+    threads: usize,
+    json: Option<PathBuf>,
+    overrides: Vec<(String, ParamValue)>,
+    grid_axes: Vec<(String, Vec<ParamValue>)>,
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+fn parse_kv(arg: &str, flag: &str) -> Result<(String, String), String> {
+    arg.split_once('=')
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .ok_or_else(|| format!("{flag} expects key=value, got `{arg}`"))
+}
+
+fn parse_run(args: &[String]) -> Result<RunOptions, String> {
+    let mut opts = RunOptions {
+        targets: Vec::new(),
+        all: false,
+        seeds: 3,
+        threads: default_threads(),
+        json: None,
+        overrides: Vec::new(),
+        grid_axes: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--all" => opts.all = true,
+            "--seeds" => {
+                opts.seeds = value_of("--seeds")?
+                    .parse()
+                    .map_err(|_| "--seeds expects a positive integer".to_string())?;
+            }
+            "--threads" => {
+                opts.threads = value_of("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?;
+            }
+            "--json" => opts.json = Some(PathBuf::from(value_of("--json")?)),
+            "--param" => {
+                let (k, v) = parse_kv(&value_of("--param")?, "--param")?;
+                opts.overrides.push((k, ParamValue::parse(&v)));
+            }
+            "--grid" => {
+                let (k, vs) = parse_kv(&value_of("--grid")?, "--grid")?;
+                let values: Vec<ParamValue> = vs.split(',').map(ParamValue::parse).collect();
+                opts.grid_axes.push((k, values));
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            name => opts.targets.push(name.to_string()),
+        }
+    }
+    if opts.targets.is_empty() && !opts.all {
+        return Err("pick a scenario name or --all".to_string());
+    }
+    if opts.seeds == 0 {
+        return Err("--seeds must be at least 1".to_string());
+    }
+    if let Some((k, _)) = opts
+        .overrides
+        .iter()
+        .find(|(k, _)| opts.grid_axes.iter().any(|(g, _)| g == k))
+    {
+        return Err(format!(
+            "`{k}` is both a --grid axis and a --param override; pick one"
+        ));
+    }
+    Ok(opts)
+}
+
+fn print_sweep(result: &SweepResult) {
+    println!(
+        "\n=== {} ({} point{}, {} seeds) ===",
+        result.scenario,
+        result.points.len(),
+        if result.points.len() == 1 { "" } else { "s" },
+        result.seeds.len()
+    );
+    for point in &result.points {
+        println!("-- params: {}", point.params.label());
+        println!(
+            "   {:<34} {:>12} {:>10} {:>12} {:>12}",
+            "metric", "mean", "±ci95", "p50", "p99"
+        );
+        for (name, s) in &point.summary {
+            println!(
+                "   {:<34} {:>12} {:>10} {:>12} {:>12}",
+                name,
+                fmt(s.mean),
+                fmt(s.ci95),
+                fmt(s.p50),
+                fmt(s.p99)
+            );
+        }
+    }
+}
+
+fn cmd_run(registry: &Registry, opts: RunOptions) -> Result<(), String> {
+    let names: Vec<String> = if opts.all {
+        registry.names().iter().map(|n| n.to_string()).collect()
+    } else {
+        opts.targets.clone()
+    };
+    let runner = SweepRunner::new(opts.threads, SweepRunner::seeds(opts.seeds));
+    let mut grid = SweepGrid::new();
+    for (name, values) in &opts.grid_axes {
+        grid = grid.axis(name, values.clone());
+    }
+
+    let mut results = Vec::new();
+    for name in &names {
+        let scenario = registry
+            .get(name)
+            .ok_or_else(|| format!("unknown scenario `{name}` (try `scenarios list`)"))?;
+        // Apply --param overrides through a one-point grid on top of the
+        // scenario defaults, so they show up in the emitted params too.
+        let mut scenario_grid = grid.clone();
+        for (k, v) in &opts.overrides {
+            scenario_grid = scenario_grid.axis(k, vec![v.clone()]);
+        }
+        // A key that isn't one of the scenario's tunables would sweep
+        // nothing while multiplying the job count; refuse it for a single
+        // target, skip it (loudly) per-scenario under --all.
+        let defaults = scenario.default_params();
+        let dropped = scenario_grid.retain_axes(|k| defaults.get(k).is_some());
+        if !dropped.is_empty() {
+            let known = defaults
+                .iter()
+                .map(|(k, _)| k.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let known = if known.is_empty() {
+                "none".to_string()
+            } else {
+                known
+            };
+            if opts.all {
+                println!(
+                    "[scenarios] {name}: ignoring non-tunable key(s) {} (tunables: {known})",
+                    dropped.join(", ")
+                );
+            } else {
+                return Err(format!(
+                    "`{}` is not a tunable of {name} (tunables: {known})",
+                    dropped.join(", ")
+                ));
+            }
+        }
+        println!(
+            "[scenarios] running {name} ({} jobs on {} threads)",
+            scenario_grid.points(&Params::new()).len() * opts.seeds,
+            runner.thread_count()
+        );
+        let result = runner.run(scenario, &scenario_grid);
+        print_sweep(&result);
+        results.push(result);
+    }
+
+    let suite = SweepSuite {
+        seeds: SweepRunner::seeds(opts.seeds),
+        results,
+    };
+    let path = opts.json.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures/BENCH_scenarios.json")
+    });
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    let json = serde_json::to_string_pretty(&suite).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("\n[json] {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let registry = Registry::standard();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("registered scenarios:");
+            for s in registry.iter() {
+                println!("  {:<24} {}", s.name(), s.title());
+            }
+            Ok(())
+        }
+        Some("report") => {
+            let rest = &args[1..];
+            if rest.iter().any(|a| a == "--all") {
+                for s in registry.iter() {
+                    s.report();
+                    println!();
+                }
+                Ok(())
+            } else if let Some(name) = rest.first() {
+                if registry.report(name) {
+                    Ok(())
+                } else {
+                    Err(format!("unknown scenario `{name}` (try `scenarios list`)"))
+                }
+            } else {
+                Err("report expects a scenario name or --all".to_string())
+            }
+        }
+        Some("run") => parse_run(&args[1..]).and_then(|opts| cmd_run(&registry, opts)),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

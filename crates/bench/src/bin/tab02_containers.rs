@@ -1,99 +1,9 @@
-//! TAB2 — comparison of container systems for cloud and HPC (Table II),
-//! plus Table I (cloud vs HPC FaaS environments) and the cold-start cost
-//! model backing Sec. IV-B/C.
-
-use bench::{banner, fmt, print_table, write_json};
-use containers::{cold_start, ContainerRuntime, RuntimeCapabilities};
-use rfaas::EnvironmentMatrix;
-
-fn yn(b: bool) -> String {
-    if b {
-        "yes".into()
-    } else {
-        "no".into()
-    }
-}
+//! TAB2 — container-system capability matrices (Tables I–II) and the cold-start cost model.
+//!
+//! Thin wrapper: the experiment is `scenarios::scenarios::tab02`,
+//! registered as `tab02_containers`; run it via this binary or
+//! `scenarios run tab02_containers` for multi-seed sweeps.
 
 fn main() {
-    banner(
-        "TAB1+TAB2",
-        "Environment and container-system capability matrices",
-    );
-
-    let env = EnvironmentMatrix::table1();
-    print_table(
-        "Table I — cloud FaaS vs HPC FaaS",
-        &["dimension", "Cloud FaaS", "HPC FaaS", "exercised by"],
-        &env.rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.dimension.to_string(),
-                    r.cloud_faas.to_string(),
-                    r.hpc_faas.to_string(),
-                    r.exercised_here.to_string(),
-                ]
-            })
-            .collect::<Vec<_>>(),
-    );
-
-    let rows: Vec<Vec<String>> = ContainerRuntime::ALL
-        .iter()
-        .map(|rt| {
-            let c = RuntimeCapabilities::of(*rt);
-            vec![
-                rt.name().to_string(),
-                c.image_format.to_string(),
-                c.repositories.to_string(),
-                yn(c.automatic_device_support),
-                yn(c.slurm_integration),
-                yn(c.native_mpi),
-                yn(c.hpc_suitable()),
-            ]
-        })
-        .collect();
-    print_table(
-        "Table II — container systems",
-        &[
-            "runtime",
-            "image format",
-            "repositories",
-            "auto devices",
-            "SLURM",
-            "native MPI",
-            "HPC-suitable",
-        ],
-        &rows,
-    );
-
-    let cold: Vec<Vec<String>> = ContainerRuntime::ALL
-        .iter()
-        .map(|rt| {
-            let c = cold_start(*rt, 50.0);
-            vec![
-                rt.name().to_string(),
-                fmt(c.sandbox_create.as_millis_f64()),
-                fmt(c.runtime_init.as_millis_f64()),
-                fmt(c.code_load.as_millis_f64()),
-                fmt(c.fabric_mount.as_millis_f64()),
-                fmt(c.total().as_millis_f64()),
-            ]
-        })
-        .collect();
-    print_table(
-        "Cold-start cost model (50 MB code package) [ms]",
-        &[
-            "runtime",
-            "sandbox",
-            "init",
-            "code load",
-            "fabric mount",
-            "total",
-        ],
-        &cold,
-    );
-    println!("\npaper: cold starts add 'hundreds of milliseconds in the best case' — all totals land there;");
-    println!("HPC runtimes (Singularity/Sarus) are the only ones passing the suitability test.");
-
-    write_json("tab02_containers", &rows);
+    bench::report_scenario("tab02_containers");
 }

@@ -1,90 +1,9 @@
-//! TAB3 — relative throughput of an idle node running rFaaS functions
-//! executing serial NAS benchmarks (Table III).
+//! TAB3 — relative throughput of an idle node running rFaaS NAS functions (Table III).
 //!
-//! An idle 36-core node hosts 1..32 concurrent executors, each running a
-//! serial NAS kernel in a loop. Relative throughput = (completions/s with n
-//! executors) / (completions/s with one). The shape to reproduce: EP scales
-//! almost linearly, BT and LU lose ~25%, CG collapses to ~1/3.
-
-use bench::paper::{TABLE3, TABLE3_EXECUTORS};
-use bench::{banner, compare, fmt, print_table, write_json};
-use interference::model::scaling_efficiency;
-use interference::{NasClass, NasKernel, NodeCapacity, WorkloadProfile};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    app: String,
-    ours: Vec<f64>,
-    paper: Vec<f64>,
-}
-
-fn profile_for(label: &str) -> WorkloadProfile {
-    match label {
-        "BT.W" => WorkloadProfile::nas(NasKernel::Bt, NasClass::W),
-        "CG.A" => WorkloadProfile::nas(NasKernel::Cg, NasClass::A),
-        "EP.W" => WorkloadProfile::nas(NasKernel::Ep, NasClass::W),
-        "LU.W" => WorkloadProfile::nas(NasKernel::Lu, NasClass::W),
-        other => panic!("unknown Table III row {other}"),
-    }
-}
+//! Thin wrapper: the experiment is `scenarios::scenarios::tab03`,
+//! registered as `tab03_idle_node`; run it via this binary or
+//! `scenarios run tab03_idle_node` for multi-seed sweeps.
 
 fn main() {
-    banner(
-        "TAB3",
-        "Relative throughput of an idle node handling rFaaS NAS functions",
-    );
-    let cap = NodeCapacity::daint_mc();
-
-    let mut rows = Vec::new();
-    for (label, paper_vals) in TABLE3 {
-        let profile = profile_for(label);
-        let ours: Vec<f64> = TABLE3_EXECUTORS
-            .iter()
-            .map(|&n| scaling_efficiency(&cap, &profile.per_rank, n) * f64::from(n))
-            .collect();
-        rows.push(Row {
-            app: label.to_string(),
-            ours,
-            paper: paper_vals.to_vec(),
-        });
-    }
-
-    let mut table = Vec::new();
-    for row in &rows {
-        let mut cells = vec![format!("{} (paper)", row.app)];
-        cells.extend(row.paper.iter().map(|v| fmt(*v)));
-        table.push(cells);
-        let mut cells = vec![format!("{} (ours)", row.app)];
-        cells.extend(row.ours.iter().map(|v| fmt(*v)));
-        table.push(cells);
-    }
-    let mut headers: Vec<String> = vec!["app / executors".into()];
-    headers.extend(TABLE3_EXECUTORS.iter().map(|n| n.to_string()));
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table("Table III — relative throughput", &headers_ref, &table);
-
-    println!("\nper-app comparison at 32 executors:");
-    for row in &rows {
-        let p = *row.paper.last().unwrap();
-        let o = *row.ours.last().unwrap();
-        if p.is_finite() {
-            println!("  {}: {}", row.app, compare(p, o));
-        }
-    }
-
-    // Shape assertions: ordering EP > BT > CG at 32 executors; CG collapses.
-    let at32 = |label: &str| {
-        rows.iter()
-            .find(|r| r.app == label)
-            .map(|r| *r.ours.last().unwrap())
-            .unwrap()
-    };
-    assert!(at32("EP.W") > at32("BT.W"));
-    assert!(at32("BT.W") > at32("CG.A"));
-    assert!(at32("CG.A") < 16.0, "CG must collapse well below linear");
-    assert!(at32("EP.W") > 24.0, "EP must stay near-linear");
-    println!("\nshape holds: EP > BT > LU > CG ordering as in the paper.");
-
-    write_json("tab03_idle_node", &rows);
+    bench::report_scenario("tab03_idle_node");
 }

@@ -1,94 +1,22 @@
-//! Shared harness for the figure/table reproduction binaries.
+//! Compatibility layer for the figure/table reproduction binaries.
 //!
-//! Every binary prints (a) the rows/series the paper reports, (b) our
-//! measured values, and (c) a side-by-side comparison, and drops a
-//! machine-readable JSON copy under `target/figures/`.
+//! The experiments themselves live in the [`scenarios`] crate (one
+//! [`scenarios::Scenario`] per figure/table, discoverable through
+//! [`scenarios::Registry::standard`]); each binary under `src/bin/` is a
+//! thin wrapper that prints the corresponding paper-style report. The shared
+//! formatting helpers that used to be defined here moved to
+//! [`scenarios::report`] and are re-exported for any downstream users.
 
-pub mod paper;
+pub use scenarios::paper;
+pub use scenarios::report::{
+    banner, compare, fmt, noisy_mean_std, pm, print_table, size_label, write_json,
+};
 
-use serde::Serialize;
-use std::fs;
-use std::path::PathBuf;
-
-/// Render a markdown table.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n## {title}\n");
-    println!("| {} |", headers.join(" | "));
-    println!(
-        "|{}|",
-        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+/// Print the report of one registered scenario; panics on unknown names so
+/// wrapper binaries fail loudly if the registry and binaries drift apart.
+pub fn report_scenario(name: &str) {
+    assert!(
+        scenarios::Registry::standard().report(name),
+        "scenario `{name}` is not registered"
     );
-    for row in rows {
-        println!("| {} |", row.join(" | "));
-    }
-}
-
-/// Format a float compactly.
-pub fn fmt(v: f64) -> String {
-    if !v.is_finite() {
-        "-".to_string()
-    } else if v == 0.0 {
-        "0".to_string()
-    } else if v.abs() >= 100.0 {
-        format!("{v:.0}")
-    } else if v.abs() >= 1.0 {
-        format!("{v:.2}")
-    } else {
-        format!("{v:.3}")
-    }
-}
-
-/// Compare a measured value with the paper's and annotate the deviation.
-pub fn compare(paper: f64, ours: f64) -> String {
-    if !paper.is_finite() || !ours.is_finite() || paper == 0.0 {
-        return format!("{} vs {}", fmt(paper), fmt(ours));
-    }
-    format!(
-        "{} vs {} ({:+.0}%)",
-        fmt(paper),
-        fmt(ours),
-        100.0 * (ours / paper - 1.0)
-    )
-}
-
-/// Write the JSON artifact for a figure.
-pub fn write_json<T: Serialize>(figure: &str, data: &T) {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
-    if fs::create_dir_all(&dir).is_err() {
-        return;
-    }
-    let path = dir.join(format!("{figure}.json"));
-    if let Ok(json) = serde_json::to_string_pretty(data) {
-        if fs::write(&path, json).is_ok() {
-            println!("\n[json] {}", path.display());
-        }
-    }
-}
-
-/// Standard banner for every figure binary.
-pub fn banner(id: &str, caption: &str) {
-    println!("==============================================================");
-    println!("{id} — {caption}");
-    println!("(reproduction: simulated substrate, seed-deterministic)");
-    println!("==============================================================");
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fmt_ranges() {
-        assert_eq!(fmt(1234.5), "1234"); // ties-to-even
-        assert_eq!(fmt(12.345), "12.35");
-        assert_eq!(fmt(0.1234), "0.123");
-        assert_eq!(fmt(f64::NAN), "-");
-        assert_eq!(fmt(0.0), "0");
-    }
-
-    #[test]
-    fn compare_shows_deviation() {
-        let s = compare(10.0, 12.0);
-        assert!(s.contains("+20%"), "{s}");
-    }
 }

@@ -21,4 +21,4 @@ pub use job::{Job, JobId, JobSpec, JobState};
 pub use monitor::{IdlePeriodStats, MonitorReport, UtilizationMonitor};
 pub use node::{Node, NodeResources, NodeState};
 pub use scheduler::{Cluster, SchedulerError};
-pub use trace::{simulate_trace, TraceOutcome, TraceProfile};
+pub use trace::{simulate_trace, simulate_trace_in, TraceOutcome, TraceProfile};

@@ -20,8 +20,7 @@ use crate::node::NodeResources;
 use crate::scheduler::Cluster;
 use des::{RngStream, SimTime, Simulation};
 use serde::Serialize;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Tunable description of a synthetic workload.
 #[derive(Debug, Clone)]
@@ -137,68 +136,78 @@ pub struct TraceOutcome {
 }
 
 struct TraceState {
-    cluster: RefCell<Cluster>,
-    monitor: RefCell<UtilizationMonitor>,
+    cluster: Mutex<Cluster>,
+    monitor: Mutex<UtilizationMonitor>,
     profile: TraceProfile,
-    rng: RefCell<RngStream>,
+    rng: Mutex<RngStream>,
     horizon: SimTime,
-    submitted: RefCell<usize>,
-    completed: RefCell<usize>,
+    submitted: Mutex<usize>,
+    completed: Mutex<usize>,
 }
 
-fn schedule_and_register_completions(sim: &mut Simulation, st: &Rc<TraceState>) {
+fn schedule_and_register_completions(sim: &mut Simulation, st: &Arc<TraceState>) {
     let now = sim.now();
-    let (started, idle_periods) = st.cluster.borrow_mut().try_schedule(now);
+    let (started, idle_periods) = st.cluster.lock().unwrap().try_schedule(now);
     {
-        let mut mon = st.monitor.borrow_mut();
+        let mut mon = st.monitor.lock().unwrap();
         for p in idle_periods {
             mon.record_exact_idle_period(p);
         }
     }
     for id in started {
-        let runtime = st.cluster.borrow().job(id).expect("job").actual_runtime;
-        let st2 = Rc::clone(st);
+        let runtime = st
+            .cluster
+            .lock()
+            .unwrap()
+            .job(id)
+            .expect("job")
+            .actual_runtime;
+        let st2 = Arc::clone(st);
         sim.schedule_after(runtime, move |sim| {
             let now = sim.now();
             st2.cluster
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .finish(id, now)
                 .expect("running job finishes");
-            *st2.completed.borrow_mut() += 1;
+            *st2.completed.lock().unwrap() += 1;
             schedule_and_register_completions(sim, &st2);
         });
     }
 }
 
-fn arrival(sim: &mut Simulation, st: Rc<TraceState>) {
+fn arrival(sim: &mut Simulation, st: Arc<TraceState>) {
     let now = sim.now();
     if now >= st.horizon {
         return;
     }
     {
-        let mut rng = st.rng.borrow_mut();
+        let mut rng = st.rng.lock().unwrap();
         let (spec, runtime) = st.profile.draw_job(&mut rng);
-        st.cluster.borrow_mut().submit(spec, runtime, now);
-        *st.submitted.borrow_mut() += 1;
+        st.cluster.lock().unwrap().submit(spec, runtime, now);
+        *st.submitted.lock().unwrap() += 1;
     }
     schedule_and_register_completions(sim, &st);
 
     let dt = {
-        let mut rng = st.rng.borrow_mut();
+        let mut rng = st.rng.lock().unwrap();
         SimTime::from_secs_f64(rng.exponential(st.profile.mean_interarrival_s))
     };
-    let st2 = Rc::clone(&st);
+    let st2 = Arc::clone(&st);
     sim.schedule_after(dt.max(SimTime::from_nanos(1)), move |sim| arrival(sim, st2));
 }
 
-fn sampler(sim: &mut Simulation, st: Rc<TraceState>) {
+fn sampler(sim: &mut Simulation, st: Arc<TraceState>) {
     let now = sim.now();
     if now > st.horizon {
         return;
     }
-    let interval = st.monitor.borrow().interval();
-    st.monitor.borrow_mut().sample(&st.cluster.borrow(), now);
-    let st2 = Rc::clone(&st);
+    let interval = st.monitor.lock().unwrap().interval();
+    st.monitor
+        .lock()
+        .unwrap()
+        .sample(&st.cluster.lock().unwrap(), now);
+    let st2 = Arc::clone(&st);
     sim.schedule_after(interval, move |sim| sampler(sim, st2));
 }
 
@@ -206,33 +215,53 @@ fn sampler(sim: &mut Simulation, st: Rc<TraceState>) {
 /// statistics. Deterministic in `seed`.
 pub fn simulate_trace(profile: &TraceProfile, horizon: SimTime, seed: u64) -> TraceOutcome {
     let mut sim = Simulation::new(seed);
-    let st = Rc::new(TraceState {
-        cluster: RefCell::new(Cluster::homogeneous(profile.nodes, profile.node_capacity)),
-        monitor: RefCell::new(UtilizationMonitor::two_minute()),
+    simulate_trace_in(&mut sim, profile, horizon)
+}
+
+/// Replay `profile` against an externally owned [`Simulation`] — the entry
+/// point the scenario sweep runner uses, where each worker thread constructs
+/// its own engine. Must be called on a fresh simulation (`now == 0`);
+/// determinism follows from the engine's root seed.
+pub fn simulate_trace_in(
+    sim: &mut Simulation,
+    profile: &TraceProfile,
+    horizon: SimTime,
+) -> TraceOutcome {
+    assert_eq!(
+        sim.now(),
+        SimTime::ZERO,
+        "trace replay expects a fresh simulation"
+    );
+    let st = Arc::new(TraceState {
+        cluster: Mutex::new(Cluster::homogeneous(profile.nodes, profile.node_capacity)),
+        monitor: Mutex::new(UtilizationMonitor::two_minute()),
         profile: profile.clone(),
-        rng: RefCell::new(sim.stream("trace")),
+        rng: Mutex::new(sim.stream("trace")),
         horizon,
-        submitted: RefCell::new(0),
-        completed: RefCell::new(0),
+        submitted: Mutex::new(0),
+        completed: Mutex::new(0),
     });
 
     // Warm-up arrivals start immediately; sampling starts after a warm-up
     // window so the initially-empty system does not bias the statistics.
-    let st_a = Rc::clone(&st);
+    let st_a = Arc::clone(&st);
     sim.schedule_at(SimTime::ZERO, move |sim| arrival(sim, st_a));
-    let st_s = Rc::clone(&st);
+    let st_s = Arc::clone(&st);
     let warmup = SimTime::from_hours(6).min(horizon / 10);
     sim.schedule_at(warmup, move |sim| sampler(sim, st_s));
 
     sim.run_until(horizon);
-    // Drop the engine first: events still queued past the horizon hold
-    // `Rc<TraceState>` clones.
-    drop(sim);
 
-    let submitted = *st.submitted.borrow();
-    let completed = *st.completed.borrow();
-    let st = Rc::try_unwrap(st).unwrap_or_else(|_| panic!("pending events hold trace state"));
-    let report = st.monitor.into_inner().finish();
+    // Events queued past the horizon may still hold `Arc<TraceState>`
+    // clones inside the caller's engine, so harvest through the locks
+    // instead of unwrapping the Arc.
+    let submitted = *st.submitted.lock().unwrap();
+    let completed = *st.completed.lock().unwrap();
+    let monitor = std::mem::replace(
+        &mut *st.monitor.lock().unwrap(),
+        UtilizationMonitor::two_minute(),
+    );
+    let report = monitor.finish();
     let mean_util = {
         let vals: Vec<f64> = report
             .idle_cpu_pct

@@ -1,0 +1,62 @@
+//! Raw DES event-loop throughput: how many no-op events per second the
+//! engine can schedule and drain. This is the baseline future event-queue
+//! optimizations (arena allocation, calendar queues) will be measured
+//! against — see ROADMAP "Open items".
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use des::{SimTime, Simulation};
+use std::time::Instant;
+
+/// Schedule `n` no-op events at spread-out times and drain the queue.
+fn drain_noop_events(n: u64) -> u64 {
+    let mut sim = Simulation::new(1);
+    for i in 0..n {
+        // Pseudo-shuffled timestamps exercise real heap reordering instead
+        // of an already-sorted fast path.
+        sim.schedule_at(
+            SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % (n * 16)),
+            |_| {},
+        );
+    }
+    sim.run();
+    sim.events_executed()
+}
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_loop");
+    // Keep the calibration loop honest but bounded: 100k per iteration, and
+    // report the headline 1M-event figure once outside the harness.
+    g.bench_function("drain_100k_noop", |b| {
+        b.iter(|| black_box(drain_noop_events(100_000)));
+    });
+    // Self-rescheduling chain: the pop-push steady state (queue stays small).
+    g.bench_function("chain_100k_reschedule", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(1);
+            fn step(sim: &mut Simulation, remaining: u64) {
+                if remaining > 0 {
+                    sim.schedule_after(SimTime::from_nanos(5), move |sim| {
+                        step(sim, remaining - 1);
+                    });
+                }
+            }
+            step(&mut sim, 100_000);
+            sim.run();
+            black_box(sim.events_executed())
+        });
+    });
+    g.finish();
+
+    // Headline number: events/sec for 1M no-op events, single measured pass.
+    let t0 = Instant::now();
+    let executed = drain_noop_events(1_000_000);
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "event_loop/1M_noop_events: {executed} events in {:.3} s = {:.2} M events/s",
+        dt,
+        executed as f64 / dt / 1e6
+    );
+}
+
+criterion_group!(benches, bench_event_loop);
+criterion_main!(benches);

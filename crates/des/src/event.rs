@@ -4,6 +4,11 @@
 //! a monotonically increasing sequence number so execution order is fully
 //! deterministic. Events can be cancelled by id (used e.g. for lease-expiry
 //! timers that are renewed).
+//!
+//! Event closures are `Send`, which makes the whole [`Simulation`] `Send`:
+//! a sweep runner can construct one per `(parameter point, seed)` inside a
+//! worker thread (or move it across threads) and determinism is preserved,
+//! because nothing about execution order depends on the hosting thread.
 
 use crate::rng::RngStream;
 use crate::time::SimTime;
@@ -14,7 +19,7 @@ use std::collections::{BinaryHeap, HashSet};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
-type EventFn = Box<dyn FnOnce(&mut Simulation)>;
+type EventFn = Box<dyn FnOnce(&mut Simulation) + Send>;
 
 struct Scheduled {
     at: SimTime,
@@ -108,7 +113,7 @@ impl Simulation {
     /// always bugs, and silently clamping them hides calibration errors.
     pub fn schedule_at<F>(&mut self, at: SimTime, f: F) -> EventId
     where
-        F: FnOnce(&mut Simulation) + 'static,
+        F: FnOnce(&mut Simulation) + Send + 'static,
     {
         assert!(
             at >= self.now,
@@ -129,7 +134,7 @@ impl Simulation {
     /// Schedule `f` to run `delay` after the current time.
     pub fn schedule_after<F>(&mut self, delay: SimTime, f: F) -> EventId
     where
-        F: FnOnce(&mut Simulation) + 'static,
+        F: FnOnce(&mut Simulation) + Send + 'static,
     {
         let at = self.now + delay;
         self.schedule_at(at, f)
@@ -205,82 +210,106 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn simulation_and_rng_streams_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation>();
+        assert_send::<RngStream>();
+        assert_send::<EventId>();
+    }
+
+    #[test]
+    fn simulation_runs_inside_a_worker_thread() {
+        // The sweep-runner pattern: build and drive a simulation wholly
+        // inside a spawned thread, hand back only the results.
+        let handle = std::thread::spawn(|| {
+            let mut sim = Simulation::new(7);
+            sim.schedule_at(SimTime::from_micros(3), |sim| {
+                sim.schedule_after(SimTime::from_micros(4), |_| {});
+            });
+            sim.run();
+            (sim.now(), sim.events_executed())
+        });
+        let (now, executed) = handle.join().expect("worker");
+        assert_eq!(now, SimTime::from_micros(7));
+        assert_eq!(executed, 2);
+    }
 
     #[test]
     fn executes_in_time_order() {
         let mut sim = Simulation::new(1);
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         for &t in &[30u64, 10, 20] {
-            let log = Rc::clone(&log);
+            let log = Arc::clone(&log);
             sim.schedule_at(SimTime::from_secs(t), move |sim| {
-                log.borrow_mut().push(sim.now().as_secs_f64() as u64);
+                log.lock().unwrap().push(sim.now().as_secs_f64() as u64);
             });
         }
         sim.run();
-        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(*log.lock().unwrap(), vec![10, 20, 30]);
         assert_eq!(sim.events_executed(), 3);
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
         let mut sim = Simulation::new(1);
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         for i in 0..5 {
-            let log = Rc::clone(&log);
+            let log = Arc::clone(&log);
             sim.schedule_at(SimTime::from_secs(7), move |_| {
-                log.borrow_mut().push(i);
+                log.lock().unwrap().push(i);
             });
         }
         sim.run();
-        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn schedule_after_accumulates() {
         let mut sim = Simulation::new(1);
-        let hits = Rc::new(RefCell::new(0));
-        let h = Rc::clone(&hits);
+        let hits = Arc::new(Mutex::new(0));
+        let h = Arc::clone(&hits);
         sim.schedule_after(SimTime::from_millis(1), move |sim| {
-            *h.borrow_mut() += 1;
-            let h2 = Rc::clone(&h);
+            *h.lock().unwrap() += 1;
+            let h2 = Arc::clone(&h);
             sim.schedule_after(SimTime::from_millis(1), move |_| {
-                *h2.borrow_mut() += 1;
+                *h2.lock().unwrap() += 1;
             });
         });
         sim.run();
-        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(*hits.lock().unwrap(), 2);
         assert_eq!(sim.now(), SimTime::from_millis(2));
     }
 
     #[test]
     fn cancel_prevents_execution() {
         let mut sim = Simulation::new(1);
-        let hits = Rc::new(RefCell::new(0));
-        let h = Rc::clone(&hits);
+        let hits = Arc::new(Mutex::new(0));
+        let h = Arc::clone(&hits);
         let id = sim.schedule_at(SimTime::from_secs(1), move |_| {
-            *h.borrow_mut() += 1;
+            *h.lock().unwrap() += 1;
         });
         assert!(sim.cancel(id));
         assert!(!sim.cancel(id), "double-cancel is a no-op");
         sim.run();
-        assert_eq!(*hits.borrow(), 0);
+        assert_eq!(*hits.lock().unwrap(), 0);
     }
 
     #[test]
     fn run_until_stops_and_advances_clock() {
         let mut sim = Simulation::new(1);
-        let hits = Rc::new(RefCell::new(Vec::new()));
+        let hits = Arc::new(Mutex::new(Vec::new()));
         for &t in &[1u64, 5, 10] {
-            let h = Rc::clone(&hits);
-            sim.schedule_at(SimTime::from_secs(t), move |_| h.borrow_mut().push(t));
+            let h = Arc::clone(&hits);
+            sim.schedule_at(SimTime::from_secs(t), move |_| h.lock().unwrap().push(t));
         }
         sim.run_until(SimTime::from_secs(5));
-        assert_eq!(*hits.borrow(), vec![1, 5]);
+        assert_eq!(*hits.lock().unwrap(), vec![1, 5]);
         assert_eq!(sim.now(), SimTime::from_secs(5));
         sim.run_until(SimTime::from_secs(20));
-        assert_eq!(*hits.borrow(), vec![1, 5, 10]);
+        assert_eq!(*hits.lock().unwrap(), vec![1, 5, 10]);
         assert_eq!(
             sim.now(),
             SimTime::from_secs(20),
@@ -302,15 +331,15 @@ mod tests {
     fn deterministic_across_runs() {
         fn trace(seed: u64) -> Vec<u64> {
             let mut sim = Simulation::new(seed);
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Arc::new(Mutex::new(Vec::new()));
             for i in 0..20 {
-                let log = Rc::clone(&log);
+                let log = Arc::clone(&log);
                 let mut rng = sim.stream(&format!("gen{i}"));
                 let t = SimTime::from_nanos(rng.u64_range(0..1000));
-                sim.schedule_at(t, move |sim| log.borrow_mut().push(sim.now().as_nanos()));
+                sim.schedule_at(t, move |sim| log.lock().unwrap().push(sim.now().as_nanos()));
             }
             sim.run();
-            let v = log.borrow().clone();
+            let v = log.lock().unwrap().clone();
             v
         }
         assert_eq!(trace(99), trace(99));

@@ -4,8 +4,7 @@
 //! on for reproducibility.
 
 use des::{Histogram, OnlineStats, RngStream, SimTime, Simulation};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One recorded event: (virtual time in nanos, chain id, RNG draw).
 type Trace = Vec<(u64, u32, u64)>;
@@ -18,18 +17,18 @@ fn run_workload(seed: u64) -> (Trace, OnlineStats, Histogram) {
     const EVENTS_PER_CHAIN: u32 = 200;
 
     let mut sim = Simulation::new(seed);
-    let trace = Rc::new(RefCell::new(Trace::new()));
-    let stats = Rc::new(RefCell::new(OnlineStats::new()));
-    let hist = Rc::new(RefCell::new(Histogram::new(0.0, 50.0, 25)));
+    let trace = Arc::new(Mutex::new(Trace::new()));
+    let stats = Arc::new(Mutex::new(OnlineStats::new()));
+    let hist = Arc::new(Mutex::new(Histogram::new(0.0, 50.0, 25)));
 
     fn step(
         sim: &mut Simulation,
         chain: u32,
         remaining: u32,
         mut rng: RngStream,
-        trace: Rc<RefCell<Trace>>,
-        stats: Rc<RefCell<OnlineStats>>,
-        hist: Rc<RefCell<Histogram>>,
+        trace: Arc<Mutex<Trace>>,
+        stats: Arc<Mutex<OnlineStats>>,
+        hist: Arc<Mutex<Histogram>>,
     ) {
         if remaining == 0 {
             return;
@@ -37,9 +36,12 @@ fn run_workload(seed: u64) -> (Trace, OnlineStats, Histogram) {
         let delay_us = rng.exponential(10.0);
         sim.schedule_after(SimTime::from_micros_f64(delay_us), move |sim| {
             let draw = rng.u64();
-            trace.borrow_mut().push((sim.now().as_nanos(), chain, draw));
-            stats.borrow_mut().push(delay_us);
-            hist.borrow_mut().push(delay_us);
+            trace
+                .lock()
+                .unwrap()
+                .push((sim.now().as_nanos(), chain, draw));
+            stats.lock().unwrap().push(delay_us);
+            hist.lock().unwrap().push(delay_us);
             step(sim, chain, remaining - 1, rng, trace, stats, hist);
         });
     }
@@ -51,17 +53,26 @@ fn run_workload(seed: u64) -> (Trace, OnlineStats, Histogram) {
             chain,
             EVENTS_PER_CHAIN,
             rng,
-            Rc::clone(&trace),
-            Rc::clone(&stats),
-            Rc::clone(&hist),
+            Arc::clone(&trace),
+            Arc::clone(&stats),
+            Arc::clone(&hist),
         );
     }
     sim.run();
     assert_eq!(sim.events_executed(), u64::from(CHAINS * EVENTS_PER_CHAIN));
 
-    let trace = Rc::try_unwrap(trace).expect("sole owner").into_inner();
-    let stats = Rc::try_unwrap(stats).expect("sole owner").into_inner();
-    let hist = Rc::try_unwrap(hist).expect("sole owner").into_inner();
+    let trace = Arc::try_unwrap(trace)
+        .expect("sole owner")
+        .into_inner()
+        .unwrap();
+    let stats = Arc::try_unwrap(stats)
+        .expect("sole owner")
+        .into_inner()
+        .unwrap();
+    let hist = Arc::try_unwrap(hist)
+        .expect("sole owner")
+        .into_inner()
+        .unwrap();
     (trace, stats, hist)
 }
 
@@ -107,15 +118,18 @@ fn simultaneous_events_fire_in_scheduling_order() {
     // order they were scheduled, on every run.
     let order = |seed| {
         let mut sim = Simulation::new(seed);
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         for tag in 0..50u32 {
-            let log = Rc::clone(&log);
+            let log = Arc::clone(&log);
             sim.schedule_at(SimTime::from_micros(10), move |_| {
-                log.borrow_mut().push(tag);
+                log.lock().unwrap().push(tag);
             });
         }
         sim.run();
-        Rc::try_unwrap(log).expect("sole owner").into_inner()
+        Arc::try_unwrap(log)
+            .expect("sole owner")
+            .into_inner()
+            .unwrap()
     };
     let expected: Vec<u32> = (0..50).collect();
     assert_eq!(order(1), expected);

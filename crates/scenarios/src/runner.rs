@@ -1,0 +1,228 @@
+//! Parallel multi-seed sweep runner.
+//!
+//! A sweep is the cartesian product of a [`SweepGrid`] and a seed list. Jobs
+//! are distributed over `std::thread` workers through an atomic cursor; each
+//! worker constructs its own [`Simulation`] per `(point, seed)` job, so the
+//! metrics of every job are bit-identical to a serial (`threads = 1`) run —
+//! thread scheduling can only change *when* a job runs, never *what* it
+//! computes. Results are written into pre-indexed slots and aggregated in
+//! seed order, keeping the merged statistics deterministic too.
+
+use crate::metrics::{summarize, MetricSummary, Metrics};
+use crate::params::{Params, SweepGrid};
+use crate::Scenario;
+use des::Simulation;
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// All runs of one parameter point: the per-seed metrics plus aggregates.
+#[derive(Debug, Clone, Serialize)]
+pub struct PointResult {
+    pub params: Params,
+    /// `(seed, metrics)` in seed order — independent of worker scheduling.
+    pub per_seed: Vec<(u64, Metrics)>,
+    pub summary: Vec<(String, MetricSummary)>,
+}
+
+/// The outcome of sweeping one scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepResult {
+    pub scenario: String,
+    pub seeds: Vec<u64>,
+    pub points: Vec<PointResult>,
+}
+
+/// A whole-suite run (`scenarios run --all`), the JSON artifact schema.
+/// Deliberately excludes run-environment details like the thread count:
+/// the artifact is bit-identical for a given seed list however it was
+/// parallelised, so two runs can be compared with `cmp`.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepSuite {
+    pub seeds: Vec<u64>,
+    pub results: Vec<SweepResult>,
+}
+
+/// Fans `grid × seeds` jobs across worker threads.
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+    seeds: Vec<u64>,
+}
+
+impl SweepRunner {
+    /// `threads` is clamped to at least one; `seeds` must be non-empty.
+    pub fn new(threads: usize, seeds: Vec<u64>) -> Self {
+        assert!(!seeds.is_empty(), "a sweep needs at least one seed");
+        SweepRunner {
+            threads: threads.max(1),
+            seeds,
+        }
+    }
+
+    /// The default seed sequence: `REPORT_SEED, REPORT_SEED+1, …` so one
+    /// seed reproduces the legacy single-run reports exactly.
+    pub fn seeds(n: usize) -> Vec<u64> {
+        (0..n.max(1) as u64)
+            .map(|i| crate::REPORT_SEED + i)
+            .collect()
+    }
+
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `scenario` over every `(grid point, seed)` combination.
+    pub fn run(&self, scenario: &dyn Scenario, grid: &SweepGrid) -> SweepResult {
+        let points = grid.points(&scenario.default_params());
+        let n_seeds = self.seeds.len();
+        let n_jobs = points.len() * n_seeds;
+
+        // Job i = (point i / n_seeds, seed i % n_seeds); slots are indexed by
+        // job id, so completion order cannot influence the output.
+        let slots: Vec<Mutex<Option<Metrics>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+
+        let worker = |_wid: usize| loop {
+            let job = cursor.fetch_add(1, Ordering::Relaxed);
+            if job >= n_jobs {
+                break;
+            }
+            let params = &points[job / n_seeds];
+            let seed = self.seeds[job % n_seeds];
+            let mut sim = Simulation::new(seed);
+            let metrics = scenario.run(&mut sim, params);
+            *slots[job].lock().unwrap() = Some(metrics);
+        };
+
+        if self.threads == 1 {
+            worker(0);
+        } else {
+            std::thread::scope(|scope| {
+                for wid in 0..self.threads {
+                    scope.spawn(move || worker(wid));
+                }
+            });
+        }
+
+        let point_results = points
+            .into_iter()
+            .enumerate()
+            .map(|(pi, params)| {
+                let per_seed: Vec<(u64, Metrics)> = (0..n_seeds)
+                    .map(|si| {
+                        let m = slots[pi * n_seeds + si]
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .expect("every job ran");
+                        (self.seeds[si], m)
+                    })
+                    .collect();
+                let summary =
+                    summarize(&per_seed.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>());
+                PointResult {
+                    params,
+                    per_seed,
+                    summary,
+                }
+            })
+            .collect();
+
+        SweepResult {
+            scenario: scenario.name().to_string(),
+            seeds: self.seeds.clone(),
+            points: point_results,
+        }
+    }
+}
+
+impl SweepResult {
+    /// Bit-exact equality of every per-(point, seed) metric — what the
+    /// determinism property compares between serial and parallel runs.
+    pub fn bits_eq(&self, other: &SweepResult) -> bool {
+        self.scenario == other.scenario
+            && self.seeds == other.seeds
+            && self.points.len() == other.points.len()
+            && self.points.iter().zip(&other.points).all(|(a, b)| {
+                a.params == b.params
+                    && a.per_seed.len() == b.per_seed.len()
+                    && a.per_seed
+                        .iter()
+                        .zip(&b.per_seed)
+                        .all(|((sa, ma), (sb, mb))| sa == sb && ma.bits_eq(mb))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SweepGrid;
+
+    /// A scenario whose metrics encode (param, seed) so slot routing bugs
+    /// would be visible immediately.
+    struct Probe;
+
+    impl Scenario for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn title(&self) -> &'static str {
+            "routing probe"
+        }
+        fn default_params(&self) -> Params {
+            Params::new().with("k", 1u64)
+        }
+        fn run(&self, sim: &mut Simulation, params: &Params) -> Metrics {
+            let mut m = Metrics::new();
+            m.push("k", params.f64("k", 0.0));
+            m.push("seed", sim.seed() as f64);
+            m.push("draw", sim.stream("probe").f64());
+            m
+        }
+    }
+
+    #[test]
+    fn jobs_land_in_their_slots() {
+        let runner = SweepRunner::new(3, vec![7, 8]);
+        let grid = SweepGrid::new().axis("k", vec![10u64, 20, 30]);
+        let result = runner.run(&Probe, &grid);
+        assert_eq!(result.points.len(), 3);
+        for (pi, point) in result.points.iter().enumerate() {
+            assert_eq!(point.params.u64("k", 0), 10 * (pi as u64 + 1));
+            assert_eq!(point.per_seed.len(), 2);
+            for ((seed, m), expect) in point.per_seed.iter().zip([7u64, 8]) {
+                assert_eq!(*seed, expect);
+                assert_eq!(m.get("seed"), Some(expect as f64));
+                assert_eq!(m.get("k"), Some(point.params.f64("k", 0.0)));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let grid = SweepGrid::new().axis("k", vec![1u64, 2, 3, 4, 5]);
+        let serial = SweepRunner::new(1, vec![1, 2, 3]).run(&Probe, &grid);
+        let parallel = SweepRunner::new(4, vec![1, 2, 3]).run(&Probe, &grid);
+        assert!(serial.bits_eq(&parallel));
+    }
+
+    #[test]
+    fn summaries_cover_all_seeds() {
+        let result = SweepRunner::new(2, vec![1, 2, 3, 4]).run(&Probe, &SweepGrid::new());
+        let (_, draw) = result.points[0]
+            .summary
+            .iter()
+            .find(|(n, _)| n == "draw")
+            .expect("draw metric");
+        assert_eq!(draw.n, 4);
+        assert!(draw.min >= 0.0 && draw.max < 1.0);
+    }
+
+    #[test]
+    fn default_seed_sequence_starts_at_report_seed() {
+        assert_eq!(SweepRunner::seeds(3), vec![42, 43, 44]);
+        assert_eq!(SweepRunner::seeds(0), vec![42], "clamped to one seed");
+    }
+}

@@ -6,6 +6,8 @@
 //! dependency:
 //!
 //! * [`rfaas`] — the HPC FaaS platform (the paper's contribution)
+//! * [`scenarios`] — declarative figure/table experiments + parallel
+//!   multi-seed sweep runner (`scenarios run --all`)
 //! * [`cluster`] — SLURM-like batch system + Piz Daint trace generator
 //! * [`fabric`] — RDMA-like interconnect with LogGP cost model
 //! * [`containers`] — HPC sandbox runtimes + warm pool
@@ -28,4 +30,5 @@ pub use gpu;
 pub use interference;
 pub use minimpi;
 pub use rfaas;
+pub use scenarios;
 pub use storage;

@@ -47,18 +47,17 @@ proptest! {
 
     #[test]
     fn des_executes_all_events_in_order(times in prop::collection::vec(0u64..1_000_000, 1..50)) {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
         let mut sim = Simulation::new(1);
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         for &t in &times {
-            let log = Rc::clone(&log);
+            let log = Arc::clone(&log);
             sim.schedule_at(SimTime::from_nanos(t), move |sim| {
-                log.borrow_mut().push(sim.now().as_nanos());
+                log.lock().unwrap().push(sim.now().as_nanos());
             });
         }
         sim.run();
-        let result = log.borrow().clone();
+        let result = log.lock().unwrap().clone();
         prop_assert_eq!(result.len(), times.len());
         prop_assert!(result.windows(2).all(|w| w[0] <= w[1]));
     }
