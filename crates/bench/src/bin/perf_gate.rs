@@ -1,0 +1,197 @@
+//! `perf_gate` — CI throughput-regression gate for the DES event loop.
+//!
+//! ```text
+//! perf_gate check --baseline ci/perf_baseline.json \
+//!                 --current target/figures/BENCH_event_loop.json \
+//!                 [--max-regression 0.20] [--sweep-seconds N] [--report PATH]
+//! perf_gate update-baseline --baseline ci/perf_baseline.json \
+//!                 --current target/figures/BENCH_event_loop.json
+//! ```
+//!
+//! `check` compares every metric of the committed baseline against the
+//! freshly measured numbers (both flat `"name": ops_per_sec` JSON objects,
+//! written by `cargo bench -p des`) and exits non-zero if any throughput
+//! regresses by more than `--max-regression` (default 20%). The optional
+//! `--report` JSON records baseline/current/ratio per metric plus the timed
+//! sweep wall-clock, so CI artifacts accumulate a perf trajectory.
+//!
+//! Baselines are machine-dependent: refresh with `update-baseline` when the
+//! reference hardware changes, and keep the committed numbers conservative.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Parse a flat JSON object of `"key": number` pairs. The bench writes this
+/// shape itself; anything else is a usage error worth failing loudly on.
+fn parse_flat_json(path: &PathBuf) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path:?}: {e}"))?;
+    let mut out = Vec::new();
+    let mut rest = text.as_str();
+    while let Some(open) = rest.find('"') {
+        rest = &rest[open + 1..];
+        let close = rest
+            .find('"')
+            .ok_or_else(|| format!("{path:?}: unterminated key"))?;
+        let key = rest[..close].to_string();
+        rest = &rest[close + 1..];
+        let colon = rest
+            .find(':')
+            .ok_or_else(|| format!("{path:?}: key `{key}` without value"))?;
+        rest = rest[colon + 1..].trim_start();
+        let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        let value: f64 = rest[..end]
+            .trim()
+            .parse()
+            .map_err(|e| format!("{path:?}: value of `{key}`: {e}"))?;
+        out.push((key, value));
+        rest = &rest[end..];
+    }
+    if out.is_empty() {
+        return Err(format!("{path:?}: no metrics found"));
+    }
+    Ok(out)
+}
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    max_regression: f64,
+    sweep_seconds: Option<f64>,
+    report: Option<PathBuf>,
+}
+
+fn parse_args(rest: &[String]) -> Result<Args, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut max_regression = 0.20;
+    let mut sweep_seconds = None;
+    let mut report = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--current" => current = Some(PathBuf::from(value("--current")?)),
+            "--max-regression" => {
+                max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|_| "--max-regression expects a fraction like 0.20".to_string())?;
+            }
+            "--sweep-seconds" => {
+                sweep_seconds = Some(
+                    value("--sweep-seconds")?
+                        .parse()
+                        .map_err(|_| "--sweep-seconds expects a number".to_string())?,
+                );
+            }
+            "--report" => report = Some(PathBuf::from(value("--report")?)),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline is required")?,
+        current: current.ok_or("--current is required")?,
+        max_regression,
+        sweep_seconds,
+        report,
+    })
+}
+
+fn cmd_check(args: Args) -> Result<bool, String> {
+    let baseline = parse_flat_json(&args.baseline)?;
+    let current = parse_flat_json(&args.current)?;
+    let mut pass = true;
+    let mut report_rows = String::new();
+    println!(
+        "perf gate: current vs baseline (allowed regression {:.0}%)",
+        args.max_regression * 100.0
+    );
+    println!(
+        "  {:<40} {:>14} {:>14} {:>7}  status",
+        "metric", "baseline", "current", "ratio"
+    );
+    for (key, base) in &baseline {
+        let Some((_, cur)) = current.iter().find(|(k, _)| k == key) else {
+            println!("  {key:<40} {base:>14.0} {:>14} {:>7}  MISSING", "-", "-");
+            pass = false;
+            continue;
+        };
+        let ratio = cur / base;
+        let ok = ratio >= 1.0 - args.max_regression;
+        pass &= ok;
+        println!(
+            "  {key:<40} {base:>14.0} {cur:>14.0} {ratio:>6.2}x  {}",
+            if ok { "ok" } else { "REGRESSION" }
+        );
+        report_rows.push_str(&format!(
+            "    {{\"metric\": \"{key}\", \"baseline\": {base:.0}, \
+             \"current\": {cur:.0}, \"ratio\": {ratio:.4}, \"pass\": {ok}}},\n"
+        ));
+    }
+    if let Some(s) = args.sweep_seconds {
+        println!("  scenario sweep wall-clock: {s:.1} s (informational)");
+    }
+    if let Some(path) = &args.report {
+        let rows = report_rows.trim_end_matches(",\n").to_string();
+        let sweep = args
+            .sweep_seconds
+            .map_or("null".to_string(), |s| format!("{s:.1}"));
+        let json = format!(
+            "{{\n  \"max_regression\": {:.2},\n  \"sweep_wall_seconds\": {sweep},\n  \
+             \"pass\": {pass},\n  \"metrics\": [\n{rows}\n  ]\n}}\n",
+            args.max_regression
+        );
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+        }
+        std::fs::write(path, json).map_err(|e| format!("writing {path:?}: {e}"))?;
+        println!("[report] {}", path.display());
+    }
+    Ok(pass)
+}
+
+fn cmd_update_baseline(args: Args) -> Result<(), String> {
+    // Validate before copying so a broken bench run can't poison the gate.
+    parse_flat_json(&args.current)?;
+    std::fs::copy(&args.current, &args.baseline)
+        .map_err(|e| format!("copying {:?} -> {:?}: {e}", args.current, args.baseline))?;
+    println!(
+        "baseline {} refreshed from {}",
+        args.baseline.display(),
+        args.current.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("check") => parse_args(&argv[1..]).and_then(|a| {
+            cmd_check(a).inspect(|&pass| {
+                if !pass {
+                    eprintln!("perf gate FAILED: throughput regressed beyond tolerance");
+                }
+            })
+        }),
+        Some("update-baseline") => {
+            parse_args(&argv[1..]).and_then(|a| cmd_update_baseline(a).map(|()| true))
+        }
+        _ => Err(
+            "usage: perf_gate <check|update-baseline> --baseline PATH --current PATH \
+                  [--max-regression F] [--sweep-seconds N] [--report PATH]"
+                .to_string(),
+        ),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

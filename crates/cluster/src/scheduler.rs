@@ -139,26 +139,34 @@ impl Cluster {
     /// Fig. 1c, while a minority of nodes accumulates the long tail. Shared
     /// jobs pack onto already-allocated nodes first.
     fn find_nodes(&self, spec: &JobSpec) -> Option<Vec<NodeId>> {
+        let key = |n: &&Node| {
+            (
+                std::cmp::Reverse(n.idle_since().unwrap_or(SimTime::MAX)),
+                n.id,
+            )
+        };
         let mut candidates: Vec<&Node> = self
             .nodes
             .iter()
             .filter(|n| n.can_host(&spec.per_node, spec.shared))
             .collect();
-        if candidates.len() < spec.nodes as usize {
+        let k = spec.nodes as usize;
+        if candidates.len() < k {
             return None;
         }
-        candidates.sort_by_key(|n| {
-            (
-                std::cmp::Reverse(n.idle_since().unwrap_or(SimTime::MAX)),
-                n.id,
-            )
-        });
-        Some(
-            candidates[..spec.nodes as usize]
-                .iter()
-                .map(|n| n.id)
-                .collect(),
-        )
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        // Keys are unique (node ids break ties), so selecting the k smallest
+        // and sorting just those is identical to a full sort's prefix — and
+        // this runs on every scheduling attempt over all ~nodes candidates,
+        // usually for single-node jobs (k = 1).
+        if candidates.len() > k {
+            candidates.select_nth_unstable_by_key(k - 1, key);
+            candidates.truncate(k);
+        }
+        candidates.sort_unstable_by_key(key);
+        Some(candidates.iter().map(|n| n.id).collect())
     }
 
     fn start_job(&mut self, id: JobId, nodes: Vec<NodeId>, now: SimTime) -> Vec<SimTime> {
@@ -210,10 +218,10 @@ impl Cluster {
         let mut started = Vec::new();
         let mut idle_periods = Vec::new();
 
-        // FCFS phase.
+        // FCFS phase. Specs are borrowed, not cloned — this runs once per
+        // arrival and once per completion, and a `JobSpec` owns a `String`.
         while let Some(&head) = self.pending.front() {
-            let spec = self.jobs[&head].spec.clone();
-            if !self.is_feasible(&spec) {
+            if !self.is_feasible(&self.jobs[&head].spec) {
                 // Drop impossible jobs so they don't wedge the queue.
                 self.pending.pop_front();
                 if let Some(j) = self.jobs.get_mut(&head) {
@@ -222,7 +230,7 @@ impl Cluster {
                 }
                 continue;
             }
-            match self.find_nodes(&spec) {
+            match self.find_nodes(&self.jobs[&head].spec) {
                 Some(nodes) => {
                     self.pending.pop_front();
                     idle_periods.extend(self.start_job(head, nodes, now));
@@ -235,15 +243,13 @@ impl Cluster {
         // Backfill phase (conservative EASY): jobs behind the head may start
         // only if their walltime fits before the head's reservation.
         if let Some(&head) = self.pending.front() {
-            let head_spec = self.jobs[&head].spec.clone();
-            let shadow = self.shadow_time(&head_spec, now);
+            let shadow = self.shadow_time(&self.jobs[&head].spec, now);
             let mut i = 1;
             while i < self.pending.len() {
                 let jid = self.pending[i];
-                let spec = self.jobs[&jid].spec.clone();
-                let fits_before_shadow = now + spec.walltime <= shadow;
+                let fits_before_shadow = now + self.jobs[&jid].spec.walltime <= shadow;
                 if fits_before_shadow {
-                    if let Some(nodes) = self.find_nodes(&spec) {
+                    if let Some(nodes) = self.find_nodes(&self.jobs[&jid].spec) {
                         self.pending.remove(i);
                         idle_periods.extend(self.start_job(jid, nodes, now));
                         started.push(jid);

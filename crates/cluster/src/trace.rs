@@ -147,21 +147,25 @@ struct TraceState {
 
 fn schedule_and_register_completions(sim: &mut Simulation, st: &Arc<TraceState>) {
     let now = sim.now();
-    let (started, idle_periods) = st.cluster.lock().unwrap().try_schedule(now);
+    // One lock acquisition covers scheduling *and* the runtime lookups for
+    // every started job — this runs once per arrival and once per completion,
+    // so per-job re-locking was the replay hot path.
+    let (started, idle_periods) = {
+        let mut cluster = st.cluster.lock().unwrap();
+        let (started, idle_periods) = cluster.try_schedule(now);
+        let started: Vec<_> = started
+            .into_iter()
+            .map(|id| (id, cluster.job(id).expect("job").actual_runtime))
+            .collect();
+        (started, idle_periods)
+    };
     {
         let mut mon = st.monitor.lock().unwrap();
         for p in idle_periods {
             mon.record_exact_idle_period(p);
         }
     }
-    for id in started {
-        let runtime = st
-            .cluster
-            .lock()
-            .unwrap()
-            .job(id)
-            .expect("job")
-            .actual_runtime;
+    for (id, runtime) in started {
         let st2 = Arc::clone(st);
         sim.schedule_after(runtime, move |sim| {
             let now = sim.now();

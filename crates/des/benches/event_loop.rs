@@ -1,7 +1,9 @@
-//! Raw DES event-loop throughput: how many no-op events per second the
-//! engine can schedule and drain. This is the baseline future event-queue
-//! optimizations (arena allocation, calendar queues) will be measured
-//! against — see ROADMAP "Open items".
+//! Raw DES event-loop throughput: how many events per second the engine can
+//! schedule, cancel, and drain. The seed `BinaryHeap` implementation drained
+//! ~2.6M no-op events/s; the arena-allocated calendar queue is measured
+//! against that baseline by CI's `perf-gate` job, which compares the JSON
+//! this bench writes (`target/figures/BENCH_event_loop.json`, override with
+//! `BENCH_EVENT_LOOP_JSON`) against the committed `ci/perf_baseline.json`.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use des::{SimTime, Simulation};
@@ -11,8 +13,8 @@ use std::time::Instant;
 fn drain_noop_events(n: u64) -> u64 {
     let mut sim = Simulation::new(1);
     for i in 0..n {
-        // Pseudo-shuffled timestamps exercise real heap reordering instead
-        // of an already-sorted fast path.
+        // Pseudo-shuffled timestamps exercise real bucket redistribution
+        // instead of an already-sorted fast path.
         sim.schedule_at(
             SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % (n * 16)),
             |_| {},
@@ -22,6 +24,55 @@ fn drain_noop_events(n: u64) -> u64 {
     sim.events_executed()
 }
 
+/// Self-rescheduling chain: the pop-push steady state (queue stays small).
+fn chain_reschedule(n: u64) -> u64 {
+    let mut sim = Simulation::new(1);
+    fn step(sim: &mut Simulation, remaining: u64) {
+        if remaining > 0 {
+            sim.schedule_after(SimTime::from_nanos(5), move |sim| {
+                step(sim, remaining - 1);
+            });
+        }
+    }
+    step(&mut sim, n);
+    sim.run();
+    sim.events_executed()
+}
+
+/// Schedule `n` events, cancel every other one before it fires, drain the
+/// rest. Under the arena each cancel is an O(1) slot free; the seed paid a
+/// tombstone `HashSet` insert plus a dead heap pop per cancelled event.
+fn cancel_heavy(n: u64) -> u64 {
+    let mut sim = Simulation::new(1);
+    let mut ids = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        ids.push(sim.schedule_at(
+            SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % (n * 16)),
+            |_| {},
+        ));
+    }
+    for id in ids.iter().step_by(2) {
+        sim.cancel(*id);
+    }
+    sim.run();
+    assert_eq!(sim.events_executed(), n / 2);
+    sim.events_executed()
+}
+
+/// Median-of-three wall-clock events/sec for one routine, counting `ops`
+/// schedule/cancel/fire operations per call.
+fn measure_events_per_sec(ops: u64, mut routine: impl FnMut() -> u64) -> f64 {
+    let mut rates: Vec<f64> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(routine());
+            ops as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.total_cmp(b));
+    rates[1]
+}
+
 fn bench_event_loop(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_loop");
     // Keep the calibration loop honest but bounded: 100k per iteration, and
@@ -29,33 +80,58 @@ fn bench_event_loop(c: &mut Criterion) {
     g.bench_function("drain_100k_noop", |b| {
         b.iter(|| black_box(drain_noop_events(100_000)));
     });
-    // Self-rescheduling chain: the pop-push steady state (queue stays small).
     g.bench_function("chain_100k_reschedule", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(1);
-            fn step(sim: &mut Simulation, remaining: u64) {
-                if remaining > 0 {
-                    sim.schedule_after(SimTime::from_nanos(5), move |sim| {
-                        step(sim, remaining - 1);
-                    });
-                }
-            }
-            step(&mut sim, 100_000);
-            sim.run();
-            black_box(sim.events_executed())
-        });
+        b.iter(|| black_box(chain_reschedule(100_000)));
+    });
+    // 50% of events cancelled before firing: the arena's O(1) cancellation
+    // (vs. tombstones) is what this case tracks in the perf trajectory.
+    g.bench_function("cancel_heavy_100k", |b| {
+        b.iter(|| black_box(cancel_heavy(100_000)));
     });
     g.finish();
 
-    // Headline number: events/sec for 1M no-op events, single measured pass.
+    // In `--test` smoke mode (cargo bench -- --test) skip the measured pass
+    // and the JSON artifact: the numbers would be garbage.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+
+    // Headline numbers and the perf-gate artifact. Rates count every
+    // schedule/cancel/fire operation the routine performs.
+    let drain_100k = measure_events_per_sec(2 * 100_000, || drain_noop_events(100_000));
+    let chain_100k = measure_events_per_sec(2 * 100_000, || chain_reschedule(100_000));
+    let cancel_100k = measure_events_per_sec(
+        100_000 + 100_000 / 2 + 100_000 / 2, // schedules + cancels + fires
+        || cancel_heavy(100_000),
+    );
     let t0 = Instant::now();
     let executed = drain_noop_events(1_000_000);
     let dt = t0.elapsed().as_secs_f64();
+    let drain_1m = executed as f64 / dt;
     println!(
-        "event_loop/1M_noop_events: {executed} events in {:.3} s = {:.2} M events/s",
-        dt,
-        executed as f64 / dt / 1e6
+        "event_loop/1M_noop_events: {executed} events in {dt:.3} s = {:.2} M events/s",
+        drain_1m / 1e6
     );
+
+    let json = format!(
+        "{{\n  \"drain_100k_noop_ops_per_sec\": {drain_100k:.0},\n  \
+         \"chain_100k_reschedule_ops_per_sec\": {chain_100k:.0},\n  \
+         \"cancel_heavy_100k_ops_per_sec\": {cancel_100k:.0},\n  \
+         \"drain_1m_noop_events_per_sec\": {drain_1m:.0}\n}}\n"
+    );
+    let path = std::env::var("BENCH_EVENT_LOOP_JSON").unwrap_or_else(|_| {
+        format!(
+            "{}/../../target/figures/BENCH_event_loop.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[json] {path}"),
+        Err(e) => eprintln!("[json] failed to write {path}: {e}"),
+    }
 }
 
 criterion_group!(benches, bench_event_loop);

@@ -1,52 +1,26 @@
-//! Event queue and simulation engine.
+//! The simulation engine: virtual clock over the calendar event queue.
 //!
-//! Events are boxed closures scheduled at a virtual time. Ties are broken by
-//! a monotonically increasing sequence number so execution order is fully
-//! deterministic. Events can be cancelled by id (used e.g. for lease-expiry
-//! timers that are renewed).
+//! Events are boxed closures scheduled at a virtual time and stored in an
+//! arena-allocated [`CalendarQueue`] (see [`crate::queue`] for the data
+//! structure). Ties are broken by a monotonically increasing sequence number
+//! so execution order is fully deterministic — exactly ascending
+//! `(time, seq)`, bit-identical to the reference binary-heap model that
+//! `tests/determinism.rs` replays against this engine. Events can be
+//! cancelled by id in O(1) (used e.g. for lease-expiry timers that are
+//! renewed); [`Simulation::events_pending`] is exact under cancellation.
 //!
 //! Event closures are `Send`, which makes the whole [`Simulation`] `Send`:
 //! a sweep runner can construct one per `(parameter point, seed)` inside a
 //! worker thread (or move it across threads) and determinism is preserved,
 //! because nothing about execution order depends on the hosting thread.
 
+use crate::queue::CalendarQueue;
 use crate::rng::RngStream;
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
 
-/// Opaque handle identifying a scheduled event so it can be cancelled.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+pub use crate::queue::EventId;
 
 type EventFn = Box<dyn FnOnce(&mut Simulation) + Send>;
-
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    f: EventFn,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// The discrete-event simulation engine.
 ///
@@ -55,8 +29,7 @@ impl Ord for Scheduled {
 pub struct Simulation {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled>,
-    cancelled: HashSet<u64>,
+    queue: CalendarQueue<EventFn>,
     seed: u64,
     executed: u64,
 }
@@ -68,8 +41,7 @@ impl Simulation {
         Simulation {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            queue: CalendarQueue::new(),
             seed,
             executed: 0,
         }
@@ -93,10 +65,12 @@ impl Simulation {
         self.executed
     }
 
-    /// Number of events currently pending (including cancelled tombstones).
+    /// Number of events currently pending. Exact: cancelled events leave the
+    /// count the moment [`Simulation::cancel`] returns `true`, and events
+    /// that already fired can neither be cancelled nor counted again.
     #[inline]
     pub fn events_pending(&self) -> usize {
-        self.queue.len() - self.cancelled.len()
+        self.queue.len()
     }
 
     /// Derive a named deterministic RNG stream. Streams with different names
@@ -123,12 +97,7 @@ impl Simulation {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            f: Box::new(f),
-        });
-        EventId(seq)
+        self.queue.push(at, seq, Box::new(f))
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -140,31 +109,26 @@ impl Simulation {
         self.schedule_at(at, f)
     }
 
-    /// Cancel a previously scheduled event. Returns `true` if the event was
-    /// still pending. Cancelling an already-run or already-cancelled event is
-    /// a no-op returning `false`.
+    /// Cancel a previously scheduled event in O(1). Returns `true` if the
+    /// event was still pending. Cancelling an already-run or
+    /// already-cancelled event is a no-op returning `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.seq {
-            return false;
-        }
-        // We cannot efficiently remove from a BinaryHeap; leave a tombstone.
-        self.cancelled.insert(id.0)
+        self.queue.cancel(id)
     }
 
     /// Run a single event, advancing the clock. Returns `false` when the
     /// queue is empty.
     pub fn step(&mut self) -> bool {
-        while let Some(ev) = self.queue.pop() {
-            if self.cancelled.remove(&ev.seq) {
-                continue;
+        match self.queue.pop() {
+            Some((at, _seq, f)) => {
+                debug_assert!(at >= self.now, "event queue time went backwards");
+                self.now = at;
+                self.executed += 1;
+                f(self);
+                true
             }
-            debug_assert!(ev.at >= self.now, "event queue time went backwards");
-            self.now = ev.at;
-            self.executed += 1;
-            (ev.f)(self);
-            return true;
+            None => false,
         }
-        false
     }
 
     /// Run until the event queue is exhausted.
@@ -177,24 +141,11 @@ impl Simulation {
     /// clock is advanced to `deadline` if the simulation ran dry early, so
     /// time-weighted statistics cover the full horizon.
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            // Peek (skipping tombstones) without executing.
-            let next_at = loop {
-                match self.queue.peek() {
-                    None => break None,
-                    Some(ev) if self.cancelled.contains(&ev.seq) => {
-                        let ev = self.queue.pop().expect("peeked");
-                        self.cancelled.remove(&ev.seq);
-                    }
-                    Some(ev) => break Some(ev.at),
-                }
-            };
-            match next_at {
-                Some(at) if at <= deadline => {
-                    self.step();
-                }
-                _ => break,
+        while let Some((at, _)) = self.queue.peek() {
+            if at > deadline {
+                break;
             }
+            self.step();
         }
         if self.now < deadline {
             self.now = deadline;
@@ -298,6 +249,58 @@ mod tests {
     }
 
     #[test]
+    fn events_pending_is_exact_under_cancellation() {
+        // Regression: the seed implementation subtracted *all* cancelled ids
+        // from the pending count — including ids whose events had already
+        // fired — so cancel-after-fire undercounted. The arena rejects stale
+        // ids, keeping the count exact.
+        let mut sim = Simulation::new(1);
+        let fired = sim.schedule_at(SimTime::from_secs(1), |_| {});
+        sim.schedule_at(SimTime::from_secs(5), |_| {});
+        let live = sim.schedule_at(SimTime::from_secs(9), |_| {});
+        assert_eq!(sim.events_pending(), 3);
+
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.events_pending(), 2);
+        assert!(
+            !sim.cancel(fired),
+            "cancelling an already-fired event is a no-op"
+        );
+        assert_eq!(
+            sim.events_pending(),
+            2,
+            "a stale cancel must not change the pending count"
+        );
+
+        assert!(sim.cancel(live));
+        assert_eq!(sim.events_pending(), 1);
+        sim.run();
+        assert_eq!(sim.events_pending(), 0);
+        assert_eq!(sim.events_executed(), 2);
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn cancel_then_fire_ordering_stays_deterministic() {
+        // Cancelling one of several same-time events must not disturb the
+        // tie-break order of the survivors.
+        let mut sim = Simulation::new(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut ids = Vec::new();
+        for i in 0..6 {
+            let log = Arc::clone(&log);
+            ids.push(sim.schedule_at(SimTime::from_micros(4), move |_| {
+                log.lock().unwrap().push(i);
+            }));
+        }
+        assert!(sim.cancel(ids[1]));
+        assert!(sim.cancel(ids[4]));
+        assert_eq!(sim.events_pending(), 4);
+        sim.run();
+        assert_eq!(*log.lock().unwrap(), vec![0, 2, 3, 5]);
+    }
+
+    #[test]
     fn run_until_stops_and_advances_clock() {
         let mut sim = Simulation::new(1);
         let hits = Arc::new(Mutex::new(Vec::new()));
@@ -315,6 +318,25 @@ mod tests {
             SimTime::from_secs(20),
             "clock advances to deadline"
         );
+    }
+
+    #[test]
+    fn scheduling_between_run_until_deadlines_keeps_order() {
+        // run_until peeks ahead of its deadline; scheduling in the gap
+        // afterwards must still fire in (time, seq) order.
+        let mut sim = Simulation::new(1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = Arc::clone(&log);
+        sim.schedule_at(SimTime::from_secs(10), move |_| l.lock().unwrap().push(10));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        for &t in &[3u64, 7, 3] {
+            let l = Arc::clone(&log);
+            sim.schedule_at(SimTime::from_secs(t), move |_| l.lock().unwrap().push(t));
+        }
+        sim.run();
+        assert_eq!(*log.lock().unwrap(), vec![3, 3, 7, 10]);
+        assert_eq!(sim.events_executed(), 4);
     }
 
     #[test]

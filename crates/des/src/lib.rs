@@ -1,9 +1,10 @@
 //! # des — deterministic discrete-event simulation kernel
 //!
 //! Foundation for the software-disaggregation reproduction: a virtual clock,
-//! a priority event queue with deterministic tie-breaking, per-component
-//! seedable RNG streams, and online statistics (mean/variance/percentiles,
-//! histograms, time-weighted samplers).
+//! an arena-allocated calendar event queue with deterministic tie-breaking
+//! (see [`queue`]), per-component seedable RNG streams, and online
+//! statistics (mean/variance/percentiles, histograms, time-weighted
+//! samplers).
 //!
 //! Every simulated experiment in the workspace is driven by [`Simulation`]:
 //! components schedule closures at future virtual times and the engine runs
@@ -25,11 +26,13 @@
 //! ```
 
 pub mod event;
+pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventId, Simulation};
+pub use queue::CalendarQueue;
 pub use rng::RngStream;
 pub use stats::{Histogram, OnlineStats, Percentiles, TimeWeighted};
 pub use time::SimTime;

@@ -1,0 +1,580 @@
+//! Arena-allocated calendar event queue.
+//!
+//! The pending-event set of a [`crate::Simulation`] is a *calendar queue*
+//! (Brown 1988) over an arena of slots, replacing the seed implementation's
+//! `BinaryHeap` of boxed closures plus tombstone `HashSet`:
+//!
+//! * **Arena.** Every scheduled entry lives in a slot of a slab (`Vec` plus
+//!   free list). An [`EventId`] packs `(generation, slot index)`, so
+//!   cancellation is an O(1) slot lookup that drops the payload in place —
+//!   no tombstone set, no heap scan — and a stale id (already fired, already
+//!   cancelled, or from a recycled slot) is rejected by the generation check.
+//! * **Bucket wheel.** Near-future events are bucketed by virtual time:
+//!   bucket width is `1 << shift` nanoseconds and the wheel covers the
+//!   window `[cursor, cursor + num_buckets)` of bucket indices. A push is an
+//!   O(1) `Vec` push; the bucket under the cursor is sorted by `(time, seq)`
+//!   lazily, once, when the cursor reaches it, so pop is amortized O(1) for
+//!   the clustered timestamps real scenarios produce.
+//! * **Overflow rung.** Events beyond the wheel window land in an unsorted
+//!   overflow list. The rung is merged back into the wheel when the cursor
+//!   catches up with its earliest entry, and when the wheel runs dry the
+//!   queue *re-anchors*: cancelled slots are reclaimed, the wheel is resized
+//!   toward the live population, and the bucket width is recomputed so the
+//!   whole overflow span fits one window pass (see [`CalendarQueue::reanchor`]).
+//!
+//! Execution order is exactly ascending `(time, seq)` — bit-identical to
+//! the reference heap, which `tests/determinism.rs` enforces with an oracle
+//! model and `tests/queue_properties.rs` with randomized interleavings.
+//!
+//! The queue itself is time-agnostic: it never rejects a push "in the past".
+//! If a push lands behind the cursor (which [`crate::Simulation::run_until`]
+//! can cause by peeking ahead of a deadline), the queue rebuilds around the
+//! new earliest bucket. Causality is the engine's job, enforced by
+//! [`crate::Simulation::schedule_at`].
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event so it can be cancelled.
+///
+/// Packs `(slot generation, slot index)`; a handle goes stale — and
+/// [`CalendarQueue::cancel`] returns `false` — as soon as the event fires or
+/// is cancelled, even if the slot is later recycled. Deliberately not
+/// `Ord`: slot recycling makes any ordering of handles meaningless (the
+/// seed implementation's ids happened to sort in scheduling order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    #[inline]
+    fn pack(gen: u32, idx: u32) -> Self {
+        EventId((u64::from(gen) << 32) | u64::from(idx))
+    }
+
+    #[inline]
+    fn unpack(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
+}
+
+/// One arena slot. `payload: None` marks a cancelled entry whose slot is
+/// reclaimed when its bucket drains (or at the next re-anchor/purge).
+struct Slot<T> {
+    at: SimTime,
+    seq: u64,
+    gen: u32,
+    payload: Option<T>,
+}
+
+/// Wheel size the queue starts with and never shrinks below.
+const MIN_BUCKETS: usize = 64;
+/// Upper bound on the wheel: past this, re-anchoring widens buckets instead.
+const MAX_BUCKETS: usize = 1 << 14;
+/// Narrowest bucket: 64 ns. Finer granularity would only add empty-bucket
+/// scans — no workload in this workspace schedules denser than that for long.
+const MIN_SHIFT: u32 = 6;
+/// Initial bucket width: 1.024 µs, a good fit for the fabric/latency models
+/// that dominate short simulations. Re-anchoring adapts it afterwards.
+const INITIAL_SHIFT: u32 = 10;
+
+/// Arena-allocated calendar queue ordered by ascending `(SimTime, seq)`.
+///
+/// `seq` values must be unique (the engine uses a monotone counter), which
+/// makes the order total and the unstable per-bucket sort deterministic.
+pub struct CalendarQueue<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    /// Ring of buckets; `buckets.len()` is always a power of two. Bucket
+    /// `vb & (len - 1)` holds exactly the events of virtual-bucket `vb` for
+    /// window membership `cur_vb <= vb < cur_vb + len`.
+    buckets: Vec<Vec<u32>>,
+    /// Bucket width exponent: width = `1 << shift` nanoseconds.
+    shift: u32,
+    /// Virtual bucket index of the drain cursor. Invariant: no pending event
+    /// maps to a virtual bucket below the cursor.
+    cur_vb: u64,
+    /// Whether the bucket under the cursor is sorted descending by
+    /// `(at, seq)` (drained from the back).
+    cur_sorted: bool,
+    /// Entries (including cancelled) currently linked into wheel buckets.
+    wheel_len: usize,
+    /// Entries beyond the wheel window, unsorted.
+    overflow: Vec<u32>,
+    /// Minimum virtual bucket present in `overflow` (`u64::MAX` when empty).
+    overflow_min_vb: u64,
+    /// Live (non-cancelled) events — the exact pending count.
+    live: usize,
+}
+
+impl<T> Default for CalendarQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CalendarQueue<T> {
+    pub fn new() -> Self {
+        CalendarQueue {
+            slots: Vec::new(),
+            free: Vec::new(),
+            buckets: std::iter::repeat_with(Vec::new).take(MIN_BUCKETS).collect(),
+            shift: INITIAL_SHIFT,
+            cur_vb: 0,
+            cur_sorted: false,
+            wheel_len: 0,
+            overflow: Vec::new(),
+            overflow_min_vb: u64::MAX,
+            live: 0,
+        }
+    }
+
+    /// Number of live (schedulable, non-cancelled) events. Exact: cancelled
+    /// entries are subtracted the moment [`CalendarQueue::cancel`] succeeds,
+    /// and popped events can never be re-cancelled.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    #[inline]
+    fn vb_of(&self, at: SimTime) -> u64 {
+        at.as_nanos() >> self.shift
+    }
+
+    /// Schedule `payload` at `(at, seq)`. `seq` must be unique across the
+    /// queue's lifetime — the engine's monotone event counter.
+    pub fn push(&mut self, at: SimTime, seq: u64, payload: T) -> EventId {
+        let idx = self.alloc(at, seq, payload);
+        let vb = self.vb_of(at);
+        if vb < self.cur_vb {
+            // The cursor peeked ahead of this time (run_until stopped at a
+            // deadline in a gap); rebuild the wheel around the new earliest
+            // bucket. Rare and O(pending), never hit by run-to-completion.
+            self.rebuild(vb);
+        }
+        self.link(idx, vb);
+        self.live += 1;
+        EventId::pack(self.slots[idx as usize].gen, idx)
+    }
+
+    /// Cancel a pending event. O(1): drops the payload in its slot and
+    /// leaves the empty entry to be reclaimed when its bucket drains.
+    /// Returns `false` for anything not currently pending (already fired,
+    /// already cancelled, never scheduled here).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let (gen, idx) = id.unpack();
+        match self.slots.get_mut(idx as usize) {
+            Some(s) if s.gen == gen && s.payload.is_some() => {
+                s.payload = None;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Remove and return the earliest live event as `(at, seq, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        if !self.position_front() {
+            return None;
+        }
+        let b = (self.cur_vb as usize) & (self.buckets.len() - 1);
+        let idx = self.buckets[b]
+            .pop()
+            .expect("position_front found an event");
+        self.wheel_len -= 1;
+        let s = &mut self.slots[idx as usize];
+        let (at, seq) = (s.at, s.seq);
+        let payload = s.payload.take().expect("position_front skips cancelled");
+        self.live -= 1;
+        self.release(idx);
+        Some((at, seq, payload))
+    }
+
+    /// `(at, seq)` of the earliest live event without removing it.
+    pub fn peek(&mut self) -> Option<(SimTime, u64)> {
+        if !self.position_front() {
+            return None;
+        }
+        let b = (self.cur_vb as usize) & (self.buckets.len() - 1);
+        let idx = *self.buckets[b]
+            .last()
+            .expect("position_front found an event");
+        let s = &self.slots[idx as usize];
+        Some((s.at, s.seq))
+    }
+
+    /// Take a fresh slot from the free list (or grow the arena).
+    fn alloc(&mut self, at: SimTime, seq: u64, payload: T) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let s = &mut self.slots[idx as usize];
+            s.at = at;
+            s.seq = seq;
+            s.payload = Some(payload);
+            idx
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("event arena exceeds u32 slots");
+            self.slots.push(Slot {
+                at,
+                seq,
+                gen: 0,
+                payload: Some(payload),
+            });
+            idx
+        }
+    }
+
+    /// Return an unlinked, payload-free slot to the free list. Bumping the
+    /// generation here is what invalidates outstanding [`EventId`]s.
+    fn release(&mut self, idx: u32) {
+        let s = &mut self.slots[idx as usize];
+        debug_assert!(s.payload.is_none(), "releasing a live slot");
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(idx);
+    }
+
+    /// Link an allocated slot into the wheel or the overflow rung.
+    fn link(&mut self, idx: u32, vb: u64) {
+        debug_assert!(vb >= self.cur_vb, "push() rebuilds before linking");
+        let n = self.buckets.len() as u64;
+        if vb - self.cur_vb >= n {
+            if vb < self.overflow_min_vb {
+                self.overflow_min_vb = vb;
+            }
+            self.overflow.push(idx);
+        } else {
+            let b = (vb as usize) & (self.buckets.len() - 1);
+            if vb == self.cur_vb && self.cur_sorted {
+                // The cursor's bucket is already sorted and mid-drain (the
+                // zero-delay self-reschedule path): insert in order. New
+                // events carry the highest seq so far, so when the bucket's
+                // remainder is at the same-or-later time the insert is a
+                // plain append at the drain end — check that first.
+                let slots = &self.slots;
+                let key = (slots[idx as usize].at, slots[idx as usize].seq);
+                let bucket = &mut self.buckets[b];
+                match bucket.last() {
+                    Some(&j) if (slots[j as usize].at, slots[j as usize].seq) < key => {
+                        let pos = bucket.partition_point(|&j| {
+                            let s = &slots[j as usize];
+                            (s.at, s.seq) > key
+                        });
+                        bucket.insert(pos, idx);
+                    }
+                    _ => bucket.push(idx),
+                }
+            } else {
+                self.buckets[b].push(idx);
+            }
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Advance the cursor until the earliest live event sits at the back of
+    /// the (sorted) cursor bucket. Returns `false` — after reclaiming every
+    /// leftover cancelled slot — when no live event remains.
+    fn position_front(&mut self) -> bool {
+        loop {
+            if self.live == 0 {
+                self.purge();
+                return false;
+            }
+            if self.overflow_min_vb <= self.cur_vb {
+                self.merge_overflow();
+            }
+            let b = (self.cur_vb as usize) & (self.buckets.len() - 1);
+            if !self.buckets[b].is_empty() {
+                if !self.cur_sorted {
+                    // A single entry is trivially sorted — the common case in
+                    // pop-push steady state (self-rescheduling chains).
+                    if self.buckets[b].len() > 1 {
+                        let slots = &self.slots;
+                        self.buckets[b].sort_unstable_by(|&x, &y| {
+                            let (sx, sy) = (&slots[x as usize], &slots[y as usize]);
+                            (sy.at, sy.seq).cmp(&(sx.at, sx.seq))
+                        });
+                    }
+                    self.cur_sorted = true;
+                }
+                // Reclaim trailing cancelled entries; stop at the first live one.
+                while let Some(&idx) = self.buckets[b].last() {
+                    if self.slots[idx as usize].payload.is_some() {
+                        return true;
+                    }
+                    self.buckets[b].pop();
+                    self.wheel_len -= 1;
+                    self.release(idx);
+                }
+            }
+            // Cursor bucket exhausted: walk the wheel, or jump via overflow.
+            if self.wheel_len == 0 {
+                self.reanchor();
+            } else {
+                self.cur_vb += 1;
+                self.cur_sorted = false;
+            }
+        }
+    }
+
+    /// Move every overflow entry that now falls inside the wheel window into
+    /// its bucket. Called when the cursor reaches the rung's earliest bucket.
+    fn merge_overflow(&mut self) {
+        let window_end = self.cur_vb + self.buckets.len() as u64;
+        let mut pending = std::mem::take(&mut self.overflow);
+        let mut new_min = u64::MAX;
+        for idx in pending.drain(..) {
+            let s = &self.slots[idx as usize];
+            if s.payload.is_none() {
+                self.release(idx);
+                continue;
+            }
+            let vb = self.vb_of(s.at);
+            if vb < window_end {
+                self.link(idx, vb);
+            } else {
+                new_min = new_min.min(vb);
+                self.overflow.push(idx);
+            }
+        }
+        self.overflow_min_vb = new_min;
+    }
+
+    /// The wheel ran dry but the overflow rung has events: reclaim cancelled
+    /// slots, adapt the wheel to the live population, and jump the cursor.
+    ///
+    /// Bucket-width heuristic: the wheel is resized to the live count's next
+    /// power of two (clamped to `[MIN_BUCKETS, MAX_BUCKETS]`), then the width
+    /// is the smallest power of two for which the whole overflow span fits in
+    /// one window — so the merged events average O(1) per bucket and the rung
+    /// empties in a single pass.
+    fn reanchor(&mut self) {
+        debug_assert_eq!(self.wheel_len, 0, "reanchor with a non-empty wheel");
+        let mut pending = std::mem::take(&mut self.overflow);
+        let mut kept: Vec<u32> = Vec::with_capacity(pending.len());
+        let (mut min_at, mut max_at) = (u64::MAX, 0u64);
+        for idx in pending.drain(..) {
+            let s = &self.slots[idx as usize];
+            if s.payload.is_none() {
+                self.release(idx);
+                continue;
+            }
+            min_at = min_at.min(s.at.as_nanos());
+            max_at = max_at.max(s.at.as_nanos());
+            kept.push(idx);
+        }
+        self.overflow_min_vb = u64::MAX;
+        // The caller checked `live > 0` with an empty wheel, so at least one
+        // overflow entry still holds its payload.
+        assert!(!kept.is_empty(), "live events lost from the calendar queue");
+        let target = kept
+            .len()
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        if self.buckets.len() != target {
+            self.buckets.resize_with(target, Vec::new);
+        }
+        let n = self.buckets.len() as u64;
+        let mut shift = MIN_SHIFT;
+        while (max_at >> shift) - (min_at >> shift) >= n {
+            shift += 1;
+        }
+        self.shift = shift;
+        self.cur_vb = min_at >> shift;
+        self.cur_sorted = false;
+        for idx in kept {
+            let vb = self.vb_of(self.slots[idx as usize].at);
+            let b = (vb as usize) & (self.buckets.len() - 1);
+            self.buckets[b].push(idx);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Re-seat every pending entry around a cursor moved *back* to `vb`
+    /// (a push landed before the cursor after a `run_until` peek).
+    fn rebuild(&mut self, vb: u64) {
+        let mut all: Vec<u32> = Vec::with_capacity(self.wheel_len + self.overflow.len());
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        all.append(&mut self.overflow);
+        self.wheel_len = 0;
+        self.overflow_min_vb = u64::MAX;
+        self.cur_vb = vb;
+        self.cur_sorted = false;
+        for idx in all {
+            let s = &self.slots[idx as usize];
+            if s.payload.is_none() {
+                self.release(idx);
+                continue;
+            }
+            let evb = self.vb_of(s.at);
+            self.link(idx, evb);
+        }
+    }
+
+    /// Reclaim every leftover (necessarily cancelled) entry once no live
+    /// event remains, so a long-lived engine does not accumulate slots.
+    fn purge(&mut self) {
+        if self.wheel_len > 0 {
+            for b in 0..self.buckets.len() {
+                while let Some(idx) = self.buckets[b].pop() {
+                    self.release(idx);
+                }
+            }
+            self.wheel_len = 0;
+        }
+        while let Some(idx) = self.overflow.pop() {
+            self.release(idx);
+        }
+        self.overflow_min_vb = u64::MAX;
+        self.cur_sorted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut CalendarQueue<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((at, seq, p)) = q.pop() {
+            out.push((at.as_nanos(), seq, p));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::from_nanos(300), 0, 0);
+        q.push(SimTime::from_nanos(100), 1, 1);
+        q.push(SimTime::from_nanos(100), 2, 2);
+        q.push(SimTime::from_nanos(200), 3, 3);
+        assert_eq!(q.len(), 4);
+        assert_eq!(
+            drain(&mut q),
+            vec![(100, 1, 1), (100, 2, 2), (200, 3, 3), (300, 0, 0)]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_go_through_the_overflow_rung() {
+        let mut q = CalendarQueue::new();
+        // Far beyond the initial 64-bucket × 1 µs window.
+        q.push(SimTime::from_secs(3600), 0, 10);
+        q.push(SimTime::from_nanos(5), 1, 11);
+        q.push(SimTime::from_days(2), 2, 12);
+        let order: Vec<u32> = drain(&mut q).into_iter().map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec![11, 10, 12]);
+    }
+
+    #[test]
+    fn cancel_is_exact_and_single_shot() {
+        let mut q = CalendarQueue::new();
+        let a = q.push(SimTime::from_nanos(10), 0, 0);
+        let b = q.push(SimTime::from_nanos(20), 1, 1);
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1, "pending count excludes the cancelled event");
+        assert_eq!(drain(&mut q), vec![(20, 1, 1)]);
+        assert!(!q.cancel(b), "cancelling a fired event is a no-op");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn recycled_slot_does_not_honour_stale_ids() {
+        let mut q = CalendarQueue::new();
+        let a = q.push(SimTime::from_nanos(10), 0, 0);
+        assert!(q.cancel(a));
+        assert!(q.pop().is_none(), "only entry was cancelled");
+        // The slot is recycled for a new event; the stale id must not hit it.
+        let b = q.push(SimTime::from_nanos(30), 1, 1);
+        assert!(!q.cancel(a), "stale id rejected by generation check");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn zero_delay_insert_into_the_draining_bucket() {
+        let mut q = CalendarQueue::new();
+        for seq in 0..4u64 {
+            q.push(SimTime::from_nanos(50), seq, seq as u32);
+        }
+        // Start draining (sorts the cursor bucket), then insert at the same
+        // time with higher seq — must come out after the existing ties.
+        assert_eq!(q.pop().unwrap().2, 0);
+        q.push(SimTime::from_nanos(50), 4, 4);
+        q.push(SimTime::from_nanos(51), 5, 5);
+        let order: Vec<u32> = drain(&mut q).into_iter().map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn push_behind_a_peeked_cursor_rebuilds() {
+        let mut q = CalendarQueue::new();
+        q.push(SimTime::from_millis(10), 0, 0);
+        // Peek walks the cursor up to the 10 ms bucket...
+        assert_eq!(q.peek(), Some((SimTime::from_millis(10), 0)));
+        // ...then a push lands well before it (run_until deadline pattern).
+        q.push(SimTime::from_nanos(7), 1, 1);
+        q.push(SimTime::from_micros(3), 2, 2);
+        let order: Vec<u32> = drain(&mut q).into_iter().map(|(_, _, p)| p).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn cancelled_slots_are_reclaimed_when_the_queue_drains() {
+        let mut q = CalendarQueue::new();
+        let mut ids = Vec::new();
+        for seq in 0..100u64 {
+            ids.push(q.push(SimTime::from_nanos(seq * 10_000_000), seq, seq as u32));
+        }
+        for id in &ids {
+            q.cancel(*id);
+        }
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        // Every slot must be back on the free list: new pushes reuse them.
+        for seq in 100..200u64 {
+            q.push(SimTime::from_nanos(seq), seq, seq as u32);
+        }
+        assert_eq!(q.slots.len(), 100, "arena reuses reclaimed slots");
+    }
+
+    #[test]
+    fn interleaved_pop_and_far_push_keeps_order() {
+        let mut q = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut push = |q: &mut CalendarQueue<u32>, ns: u64| {
+            q.push(SimTime::from_nanos(ns), seq, seq as u32);
+            seq += 1;
+        };
+        for i in 0..50 {
+            push(&mut q, i * 7);
+        }
+        let mut last: Option<(SimTime, u64)> = None;
+        let mut popped = 0;
+        while let Some((at, s, _)) = q.pop() {
+            assert!(
+                last.is_none_or(|l| (at, s) > l),
+                "order must be strictly ascending"
+            );
+            last = Some((at, s));
+            popped += 1;
+            if popped == 10 {
+                // Mid-drain, add a far-future batch (overflow) and a tie.
+                let base = at.as_nanos();
+                push(&mut q, base + 60 * 60 * 1_000_000_000);
+                push(&mut q, base);
+            }
+        }
+        assert_eq!(popped, 52);
+    }
+}

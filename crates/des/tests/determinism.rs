@@ -136,6 +136,222 @@ fn simultaneous_events_fire_in_scheduling_order() {
     assert_eq!(order(99), expected, "tie order must not depend on the seed");
 }
 
+/// Reference model: the seed implementation's `BinaryHeap`-of-boxed-closures
+/// engine with tombstone cancellation. The calendar-queue engine must produce
+/// a bit-identical trace for any workload.
+mod reference {
+    use des::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, HashSet};
+
+    pub struct RefEntry {
+        pub at: SimTime,
+        pub seq: u64,
+        pub f: Box<dyn FnOnce(&mut RefSim)>,
+    }
+
+    impl PartialEq for RefEntry {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl Eq for RefEntry {}
+    impl PartialOrd for RefEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for RefEntry {
+        // Max-heap inverted so the earliest (time, seq) pops first.
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    #[derive(Default)]
+    pub struct RefSim {
+        pub now: SimTime,
+        seq: u64,
+        heap: BinaryHeap<RefEntry>,
+        cancelled: HashSet<u64>,
+    }
+
+    impl RefSim {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut RefSim) + 'static) -> u64 {
+            assert!(at >= self.now, "reference model: schedule in the past");
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(RefEntry {
+                at,
+                seq,
+                f: Box::new(f),
+            });
+            seq
+        }
+
+        /// Correct-by-construction cancel: only ids still in the heap count.
+        pub fn cancel(&mut self, id: u64) -> bool {
+            if self.heap.iter().any(|e| e.seq == id) && !self.cancelled.contains(&id) {
+                self.cancelled.insert(id);
+                true
+            } else {
+                false
+            }
+        }
+
+        pub fn pending(&self) -> usize {
+            self.heap.len() - self.cancelled.len()
+        }
+
+        pub fn run(&mut self) {
+            while let Some(e) = self.heap.pop() {
+                if self.cancelled.remove(&e.seq) {
+                    continue;
+                }
+                self.now = e.at;
+                (e.f)(self);
+            }
+        }
+    }
+}
+
+/// The workload both engines execute, written once against this trait.
+/// Events log `(fire time, tag)` and deterministically spawn children:
+/// zero-delay same-time ties and far-future (overflow-rung) descendants.
+trait Engine: Sized + 'static {
+    type Id: Copy;
+    fn now_ns(&self) -> u64;
+    fn schedule(&mut self, at: SimTime, tag: u32, log: &OracleLog) -> Self::Id;
+    fn cancel_id(&mut self, id: Self::Id) -> bool;
+    fn pending(&self) -> usize;
+    fn run_all(&mut self);
+}
+
+type OracleLog = Arc<Mutex<Vec<(u64, u32)>>>;
+
+fn oracle_fire<E: Engine>(e: &mut E, tag: u32, log: &OracleLog) {
+    log.lock().unwrap().push((e.now_ns(), tag));
+    if tag < 100_000 {
+        let now = SimTime::from_nanos(e.now_ns());
+        if tag.is_multiple_of(5) {
+            // Zero-delay self-spawn: same virtual time, later sequence —
+            // must fire after every already-scheduled tie at this time.
+            e.schedule(now, tag + 100_000, log);
+        }
+        if tag.is_multiple_of(11) {
+            // Far-future child: lands in the overflow rung.
+            e.schedule(now + SimTime::from_millis(50), tag + 200_000, log);
+        }
+    }
+}
+
+impl Engine for Simulation {
+    type Id = des::EventId;
+    fn now_ns(&self) -> u64 {
+        self.now().as_nanos()
+    }
+    fn schedule(&mut self, at: SimTime, tag: u32, log: &OracleLog) -> des::EventId {
+        let log = Arc::clone(log);
+        self.schedule_at(at, move |sim| oracle_fire(sim, tag, &log))
+    }
+    fn cancel_id(&mut self, id: des::EventId) -> bool {
+        self.cancel(id)
+    }
+    fn pending(&self) -> usize {
+        self.events_pending()
+    }
+    fn run_all(&mut self) {
+        self.run();
+    }
+}
+
+impl Engine for reference::RefSim {
+    type Id = u64;
+    fn now_ns(&self) -> u64 {
+        self.now.as_nanos()
+    }
+    fn schedule(&mut self, at: SimTime, tag: u32, log: &OracleLog) -> u64 {
+        let log = Arc::clone(log);
+        self.schedule_at(at, move |sim| oracle_fire(sim, tag, &log))
+    }
+    fn cancel_id(&mut self, id: u64) -> bool {
+        self.cancel(id)
+    }
+    fn pending(&self) -> usize {
+        self.pending()
+    }
+    fn run_all(&mut self) {
+        self.run();
+    }
+}
+
+/// Drive one engine through the oracle workload; returns the full event
+/// trace plus the cancel outcomes and the pre-run pending count.
+fn oracle_drive<E: Engine>(mut e: E, seed: u64) -> (Vec<(u64, u32)>, Vec<bool>, usize) {
+    let log: OracleLog = Arc::new(Mutex::new(Vec::new()));
+    let mut rng = RngStream::derive(seed, "oracle");
+    let mut ids = Vec::new();
+    // Dense cluster: many ties in a 500 ns window.
+    for tag in 0..1500u32 {
+        let t = SimTime::from_nanos(rng.u64_range(0..500));
+        ids.push(e.schedule(t, tag, &log));
+    }
+    // Sparse far tail: seconds apart, well beyond any initial wheel window.
+    for tag in 1500..1700u32 {
+        let t = SimTime::from_millis(1) + SimTime::from_secs(rng.u64_range(0..5));
+        ids.push(e.schedule(t, tag, &log));
+    }
+    // Cancel a deterministic third, including double-cancels.
+    let mut cancels = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
+        if i.is_multiple_of(3) {
+            cancels.push(e.cancel_id(*id));
+        }
+        if i.is_multiple_of(9) {
+            cancels.push(e.cancel_id(*id));
+        }
+    }
+    let pending = e.pending();
+    e.run_all();
+    let trace = log.lock().unwrap().clone();
+    (trace, cancels, pending)
+}
+
+#[test]
+fn calendar_queue_matches_reference_heap_model() {
+    let (trace_cal, cancels_cal, pending_cal) = oracle_drive(Simulation::new(0xACE), 0xACE);
+    let (trace_ref, cancels_ref, pending_ref) = oracle_drive(reference::RefSim::new(), 0xACE);
+
+    assert_eq!(
+        pending_cal, pending_ref,
+        "pending counts must agree before the run"
+    );
+    assert_eq!(
+        cancels_cal, cancels_ref,
+        "cancel outcomes must agree event by event"
+    );
+    assert_eq!(
+        trace_cal.len(),
+        trace_ref.len(),
+        "both engines must execute the same number of events"
+    );
+    // Diff the full trace: any (time, seq) tie-break divergence shows up as
+    // the first mismatching (fire time, tag) pair.
+    if let Some(i) = (0..trace_cal.len()).find(|&i| trace_cal[i] != trace_ref[i]) {
+        panic!(
+            "traces diverge at event {i}: calendar fired {:?}, reference fired {:?}",
+            trace_cal[i], trace_ref[i]
+        );
+    }
+}
+
 #[test]
 fn derived_streams_are_insensitive_to_sibling_draws() {
     // Adding a new random component must not perturb existing streams: the

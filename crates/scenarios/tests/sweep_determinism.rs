@@ -41,6 +41,88 @@ proptest! {
     }
 }
 
+/// A scenario that leans on everything the calendar-queue engine promises
+/// the runner: `Simulation: Send` (jobs run inside worker threads), exact
+/// `events_pending` under cancellation, `run_until` deadline semantics, and
+/// far-future (overflow-rung) timers that are renewed — i.e. cancelled and
+/// rescheduled — on every tick.
+#[test]
+fn sweep_with_cancellation_heavy_scenario_is_deterministic() {
+    use des::{EventId, SimTime, Simulation};
+    use scenarios::{Metrics, Params, Scenario};
+    use std::sync::{Arc, Mutex};
+
+    struct LeaseChurn;
+
+    impl Scenario for LeaseChurn {
+        fn name(&self) -> &'static str {
+            "lease_churn_probe"
+        }
+        fn title(&self) -> &'static str {
+            "cancellation-heavy pending-count probe"
+        }
+        fn default_params(&self) -> Params {
+            Params::new().with("ticks", 200u64)
+        }
+        fn run(&self, sim: &mut Simulation, params: &Params) -> Metrics {
+            let ticks = params.u64("ticks", 200);
+            let expiries = Arc::new(Mutex::new(0u64));
+            // A lease-expiry timer far in the future, renewed on every tick:
+            // the cancel-reschedule churn the arena makes O(1).
+            let timer: Arc<Mutex<Option<EventId>>> = Arc::new(Mutex::new(None));
+            fn tick(
+                sim: &mut Simulation,
+                remaining: u64,
+                timer: Arc<Mutex<Option<EventId>>>,
+                expiries: Arc<Mutex<u64>>,
+            ) {
+                if let Some(old) = timer.lock().unwrap().take() {
+                    assert!(sim.cancel(old), "renewed timer was still pending");
+                }
+                let e2 = Arc::clone(&expiries);
+                let id = sim.schedule_after(SimTime::from_secs(3600), move |_| {
+                    *e2.lock().unwrap() += 1;
+                });
+                *timer.lock().unwrap() = Some(id);
+                if remaining > 0 {
+                    let mut rng = sim.stream(&format!("tick{remaining}"));
+                    let dt = SimTime::from_micros(1 + rng.u64_range(0..50));
+                    let t2 = Arc::clone(&timer);
+                    let e3 = Arc::clone(&expiries);
+                    sim.schedule_after(dt, move |sim| tick(sim, remaining - 1, t2, e3));
+                }
+            }
+            tick(sim, ticks, Arc::clone(&timer), Arc::clone(&expiries));
+            sim.run_until(SimTime::from_secs(60));
+            let pending = sim.events_pending();
+            let mut m = Metrics::new();
+            m.push("expiries", *expiries.lock().unwrap() as f64);
+            m.push("pending_after_horizon", pending as f64);
+            m.push("executed", sim.events_executed() as f64);
+            m
+        }
+    }
+
+    let serial = SweepRunner::new(1, vec![5, 6, 7]).run(&LeaseChurn, &SweepGrid::new());
+    let parallel = SweepRunner::new(4, vec![5, 6, 7]).run(&LeaseChurn, &SweepGrid::new());
+    assert!(
+        serial.bits_eq(&parallel),
+        "cancellation-heavy scenario diverged"
+    );
+    for (_, m) in &serial.points[0].per_seed {
+        assert_eq!(
+            m.get("expiries"),
+            Some(0.0),
+            "renewed lease timers must never fire"
+        );
+        assert_eq!(
+            m.get("pending_after_horizon"),
+            Some(1.0),
+            "exactly the final renewed timer remains pending"
+        );
+    }
+}
+
 /// The engine-level half of the property: an identical simulation driven on
 /// two different worker threads produces the identical event trace.
 #[test]
