@@ -4,16 +4,26 @@
 //! scenarios list
 //! scenarios report <name> | --all
 //! scenarios run <name> | --all [--seeds N] [--threads K] [--json PATH]
+//!                              [--order cost|input] [--cost-table PATH]
+//!                              [--costs-out PATH]
 //!                              [--param k=v]... [--grid k=v1,v2,...]...
 //! ```
 //!
-//! `run` fans every `(grid point, seed)` across worker threads and prints
-//! mean/p50/p99 (±95% CI) aggregates per scenario; the full per-seed metrics
-//! go to a JSON artifact (default `target/figures/BENCH_scenarios.json`).
-//! Results are bit-identical for a given seed list regardless of `--threads`.
+//! `run` feeds every `(scenario, grid point, seed)` job of every selected
+//! scenario into one work-stealing pool (longest-expected-first by the
+//! `--cost-table` wall-clock priors, falling back to a parameter-size
+//! heuristic) and prints mean/p50/p99 (±95% CI) aggregates per scenario; the
+//! full per-seed metrics go to a JSON artifact (default
+//! `target/figures/BENCH_scenarios.json`). Results are bit-identical for a
+//! given seed list regardless of `--threads`, `--order`, or the cost table.
+//! `--costs-out` persists the wall-clocks this run measured, closing the
+//! CI loop that makes the next run's ordering smarter.
 
 use scenarios::report::fmt;
-use scenarios::{ParamValue, Params, Registry, SweepGrid, SweepResult, SweepRunner, SweepSuite};
+use scenarios::{
+    CostTable, JobOrder, ParamValue, Params, Registry, Scenario, SweepGrid, SweepResult,
+    SweepRunner, SweepSuite,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,6 +31,8 @@ const USAGE: &str = "usage:
   scenarios list
   scenarios report <name> | --all
   scenarios run <name> | --all [--seeds N] [--threads K] [--json PATH]
+                               [--order cost|input] [--cost-table PATH]
+                               [--costs-out PATH]
                                [--param k=v]... [--grid k=v1,v2,...]...";
 
 struct RunOptions {
@@ -29,6 +41,9 @@ struct RunOptions {
     seeds: usize,
     threads: usize,
     json: Option<PathBuf>,
+    order: JobOrder,
+    cost_table: Option<PathBuf>,
+    costs_out: Option<PathBuf>,
     overrides: Vec<(String, ParamValue)>,
     grid_axes: Vec<(String, Vec<ParamValue>)>,
 }
@@ -53,6 +68,9 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
         seeds: 3,
         threads: default_threads(),
         json: None,
+        order: JobOrder::default(),
+        cost_table: None,
+        costs_out: None,
         overrides: Vec::new(),
         grid_axes: Vec::new(),
     };
@@ -76,6 +94,9 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
                     .map_err(|_| "--threads expects a positive integer".to_string())?;
             }
             "--json" => opts.json = Some(PathBuf::from(value_of("--json")?)),
+            "--order" => opts.order = JobOrder::parse(&value_of("--order")?)?,
+            "--cost-table" => opts.cost_table = Some(PathBuf::from(value_of("--cost-table")?)),
+            "--costs-out" => opts.costs_out = Some(PathBuf::from(value_of("--costs-out")?)),
             "--param" => {
                 let (k, v) = parse_kv(&value_of("--param")?, "--param")?;
                 opts.overrides.push((k, ParamValue::parse(&v)));
@@ -140,13 +161,26 @@ fn cmd_run(registry: &Registry, opts: RunOptions) -> Result<(), String> {
     } else {
         opts.targets.clone()
     };
-    let runner = SweepRunner::new(opts.threads, SweepRunner::seeds(opts.seeds));
+    let mut runner =
+        SweepRunner::new(opts.threads, SweepRunner::seeds(opts.seeds)).with_order(opts.order);
+    if let Some(path) = &opts.cost_table {
+        let table = CostTable::load(path)?;
+        println!(
+            "[scenarios] cost table {} ({} point shapes) orders the pool",
+            path.display(),
+            table.len()
+        );
+        runner = runner.with_cost_table(table);
+    }
     let mut grid = SweepGrid::new();
     for (name, values) in &opts.grid_axes {
         grid = grid.axis(name, values.clone());
     }
 
-    let mut results = Vec::new();
+    // Validate every target's grid first, then run them all through ONE
+    // work-stealing pool: short scenarios pack around long ones instead of
+    // queueing behind a per-scenario barrier.
+    let mut tasks: Vec<(&dyn Scenario, SweepGrid)> = Vec::new();
     for name in &names {
         let scenario = registry
             .get(name)
@@ -186,13 +220,34 @@ fn cmd_run(registry: &Registry, opts: RunOptions) -> Result<(), String> {
             }
         }
         println!(
-            "[scenarios] running {name} ({} jobs on {} threads)",
+            "[scenarios] queueing {name} ({} jobs)",
             scenario_grid.points(&Params::new()).len() * opts.seeds,
-            runner.thread_count()
         );
-        let result = runner.run(scenario, &scenario_grid);
-        print_sweep(&result);
-        results.push(result);
+        tasks.push((scenario, scenario_grid));
+    }
+
+    let total_jobs: usize = tasks
+        .iter()
+        .map(|(s, g)| g.points(&s.default_params()).len() * opts.seeds)
+        .sum();
+    println!(
+        "[scenarios] running {total_jobs} jobs on {} work-stealing threads ({} order)",
+        runner.thread_count(),
+        match opts.order {
+            JobOrder::Cost => "longest-expected-first",
+            JobOrder::Input => "input",
+        }
+    );
+    let results = runner
+        .try_run_suite(&tasks)
+        .map_err(|e| format!("sweep failed: {e}"))?;
+    for result in &results {
+        print_sweep(result);
+    }
+
+    if let Some(path) = &opts.costs_out {
+        runner.observed_costs().save(path)?;
+        println!("[costs] {}", path.display());
     }
 
     let suite = SweepSuite {

@@ -32,7 +32,17 @@ impl ContainerImage {
         }
     }
 
+    /// Replace the layer list. Layer sizes must be finite and non-negative:
+    /// a NaN or negative size would otherwise surface later as a mid-
+    /// simulation panic (or nonsense pull time) deep inside cache eviction.
     pub fn with_layers(mut self, layers: Vec<(u64, f64)>) -> Self {
+        for (layer, size) in &layers {
+            assert!(
+                size.is_finite() && *size >= 0.0,
+                "layer {layer} of image `{}` has invalid size {size} MB",
+                self.name
+            );
+        }
         self.size_mb = layers.iter().map(|(_, s)| s).sum();
         self.layers = layers;
         self
@@ -86,13 +96,17 @@ impl ImageCache {
             }
         }
         // Naive eviction: if over capacity, charge the refetch next time by
-        // dropping the largest layers not in this image.
+        // dropping the largest layers not in this image. The victim must not
+        // depend on HashMap iteration order — equal-size layers tie-break on
+        // layer id (highest first) so every run evicts identically, and
+        // `total_cmp` keeps the comparison total even for sizes that slipped
+        // past validation.
         while self.used_mb() > self.capacity_mb {
             let candidate = self
                 .layers_present
                 .iter()
                 .filter(|(l, _)| !image.layers.iter().any(|(il, _)| il == *l))
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("sizes finite"))
+                .max_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(b.0)))
                 .map(|(l, _)| *l);
             match candidate {
                 Some(l) => {
@@ -148,6 +162,55 @@ mod tests {
         // b must still be present (it is the most recent image).
         let t = cache.ensure(&b, 1000.0);
         assert_eq!(t, SimTime::ZERO);
+    }
+
+    #[test]
+    fn eviction_is_deterministic_across_equal_sizes() {
+        // Three same-size cached layers competing for eviction: the victim
+        // must be chosen by (size, layer_id), not HashMap iteration order.
+        // Before the tie-break this failed intermittently (random survivor
+        // set run to run), breaking bit-identical reruns.
+        for _ in 0..32 {
+            let mut cache = ImageCache::new(350.0);
+            let old = ContainerImage::new(1, "old", 0.0).with_layers(vec![
+                (10, 100.0),
+                (11, 100.0),
+                (12, 100.0),
+            ]);
+            cache.ensure(&old, 1000.0);
+            let new = ContainerImage::new(2, "new", 150.0);
+            cache.ensure(&new, 1000.0);
+            // 400 MB > 350 MB: exactly one of the equal-size layers goes —
+            // the highest layer id, 12.
+            assert!((cache.used_mb() - 350.0).abs() < 1e-9);
+            let survivors =
+                ContainerImage::new(3, "probe", 0.0).with_layers(vec![(10, 100.0), (11, 100.0)]);
+            assert_eq!(
+                cache.ensure(&survivors, 1000.0),
+                SimTime::ZERO,
+                "layers 10 and 11 must survive, 12 must be the victim"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid size")]
+    fn nan_layer_size_is_rejected_at_construction() {
+        let _ = ContainerImage::new(1, "bad", 0.0).with_layers(vec![(10, f64::NAN)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid size")]
+    fn negative_layer_size_is_rejected_at_construction() {
+        let _ = ContainerImage::new(1, "bad", 0.0).with_layers(vec![(10, -5.0)]);
+    }
+
+    #[test]
+    fn infinite_layer_size_is_rejected_at_construction() {
+        let res = std::panic::catch_unwind(|| {
+            ContainerImage::new(1, "bad", 0.0).with_layers(vec![(10, f64::INFINITY)])
+        });
+        assert!(res.is_err());
     }
 
     #[test]

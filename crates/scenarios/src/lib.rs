@@ -20,6 +20,7 @@
 //! assert_eq!(result.points[0].per_seed.len(), 3);
 //! ```
 
+pub mod cost;
 pub mod metrics;
 pub mod paper;
 pub mod params;
@@ -28,10 +29,13 @@ pub mod report;
 pub mod runner;
 pub mod scenarios;
 
+pub use cost::CostTable;
 pub use metrics::{summarize, MetricSummary, Metrics};
 pub use params::{ParamValue, Params, SweepGrid};
 pub use registry::Registry;
-pub use runner::{PointResult, SweepResult, SweepRunner, SweepSuite};
+pub use runner::{
+    JobFailure, JobOrder, PointResult, SweepError, SweepResult, SweepRunner, SweepSuite,
+};
 
 use des::Simulation;
 

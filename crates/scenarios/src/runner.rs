@@ -1,20 +1,38 @@
-//! Parallel multi-seed sweep runner.
+//! Work-stealing, deadline-aware parallel sweep runner.
 //!
-//! A sweep is the cartesian product of a [`SweepGrid`] and a seed list. Jobs
-//! are distributed over `std::thread` workers through an atomic cursor; each
-//! worker constructs its own [`Simulation`] per `(point, seed)` job, so the
-//! metrics of every job are bit-identical to a serial (`threads = 1`) run —
-//! thread scheduling can only change *when* a job runs, never *what* it
-//! computes. Results are written into pre-indexed slots and aggregated in
-//! seed order, keeping the merged statistics deterministic too.
+//! A sweep is the cartesian product of a [`SweepGrid`] and a seed list —
+//! or, for [`SweepRunner::run_suite`], the union of several scenarios'
+//! sweeps in one shared pool. Jobs are ordered longest-expected-first
+//! (LPT, using the [`CostTable`]'s measured wall-clocks with a size
+//! heuristic as cold-start fallback), injected into a global
+//! [`crossbeam::deque::Injector`], and executed by workers that grab
+//! batches into per-worker Chase–Lev deques and steal from siblings when
+//! dry — so one long job never pins a worker while short jobs queue
+//! behind it.
+//!
+//! Scheduling never touches results: each worker constructs its own
+//! [`Simulation`] per `(point, seed)` job, so the metrics of every job are
+//! bit-identical to a serial (`threads = 1`) run whatever the thread count,
+//! job order, or steal interleaving. Results are written into per-job slots
+//! of a lock-free buffer (each slot written by exactly the one worker that
+//! executed the job) and aggregated in seed order, keeping the merged
+//! statistics deterministic too.
+//!
+//! A job that panics no longer takes the sweep's bookkeeping down with it:
+//! the panic is caught per job and surfaced through [`SweepError`], naming
+//! the `(scenario, point, seed)` identity of every failed job.
 
+use crate::cost::CostTable;
 use crate::metrics::{summarize, MetricSummary, Metrics};
 use crate::params::{Params, SweepGrid};
 use crate::Scenario;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use des::Simulation;
 use serde::Serialize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// All runs of one parameter point: the per-seed metrics plus aggregates.
 #[derive(Debug, Clone, Serialize)]
@@ -43,11 +61,127 @@ pub struct SweepSuite {
     pub results: Vec<SweepResult>,
 }
 
-/// Fans `grid × seeds` jobs across worker threads.
+/// How the runner orders jobs before injecting them into the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JobOrder {
+    /// Longest-expected-first by [`CostTable`] estimate (LPT scheduling);
+    /// ties broken by input position so the order is fully deterministic.
+    #[default]
+    Cost,
+    /// The natural input order: task-major, point-major, seed-minor.
+    Input,
+}
+
+impl JobOrder {
+    /// Parse a CLI spelling: `cost` or `input`.
+    pub fn parse(s: &str) -> Result<JobOrder, String> {
+        match s {
+            "cost" => Ok(JobOrder::Cost),
+            "input" => Ok(JobOrder::Input),
+            other => Err(format!("unknown job order `{other}` (try cost|input)")),
+        }
+    }
+}
+
+/// One failed `(scenario, point, seed)` job.
 #[derive(Debug, Clone)]
+pub struct JobFailure {
+    pub scenario: String,
+    pub point: String,
+    pub seed: u64,
+    pub message: String,
+}
+
+/// One or more sweep jobs panicked. The sweep's surviving results are
+/// discarded — partial artifacts would silently skew aggregates — but every
+/// failing job is named, so the offending `(scenario, point, seed)` can be
+/// replayed directly.
+#[derive(Debug, Clone)]
+pub struct SweepError {
+    pub failures: Vec<JobFailure>,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} sweep job(s) panicked:", self.failures.len())?;
+        for j in &self.failures {
+            writeln!(
+                f,
+                "  - scenario `{}` point `{}` seed {}: {}",
+                j.scenario, j.point, j.seed, j.message
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Slot-indexed, write-once result storage shared by the worker pool.
+///
+/// Each job id owns exactly one slot, and the deques hand each job to
+/// exactly one worker, so writes are disjoint by construction; the scoped
+/// thread join orders every write before collection. That invariant is what
+/// lets results land without a mutex per slot — and what keeps the output
+/// independent of who executed what.
+struct SlotBuffer<T> {
+    slots: Vec<UnsafeCell<Option<T>>>,
+}
+
+unsafe impl<T: Send> Sync for SlotBuffer<T> {}
+
+impl<T> SlotBuffer<T> {
+    fn new(n: usize) -> SlotBuffer<T> {
+        SlotBuffer {
+            slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// # Safety
+    /// At most one thread may ever call this per index, and all calls must
+    /// happen-before [`SlotBuffer::into_vec`] (the pool join provides this).
+    unsafe fn put(&self, index: usize, value: T) {
+        *self.slots[index].get() = Some(value);
+    }
+
+    fn into_vec(self) -> Vec<Option<T>> {
+        self.slots.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+}
+
+/// One `(task, point, seed)` unit of work; `slot` is its global result index.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    slot: usize,
+    task: usize,
+    point: usize,
+    seed_idx: usize,
+}
+
+/// Fans `grid × seeds` jobs across work-stealing worker threads.
+#[derive(Debug)]
 pub struct SweepRunner {
     threads: usize,
     seeds: Vec<u64>,
+    order: JobOrder,
+    /// Prior costs driving the LPT order (typically loaded from CI's
+    /// persisted timing artifact).
+    costs: CostTable,
+    /// Wall-clocks measured by this runner's own jobs, accumulated across
+    /// `run` calls — the next run's (or next CI round's) prior.
+    observed: Mutex<CostTable>,
+}
+
+impl Clone for SweepRunner {
+    fn clone(&self) -> Self {
+        SweepRunner {
+            threads: self.threads,
+            seeds: self.seeds.clone(),
+            order: self.order,
+            costs: self.costs.clone(),
+            observed: Mutex::new(self.observed.lock().unwrap().clone()),
+        }
+    }
 }
 
 impl SweepRunner {
@@ -57,6 +191,9 @@ impl SweepRunner {
         SweepRunner {
             threads: threads.max(1),
             seeds,
+            order: JobOrder::default(),
+            costs: CostTable::new(),
+            observed: Mutex::new(CostTable::new()),
         }
     }
 
@@ -68,72 +205,239 @@ impl SweepRunner {
             .collect()
     }
 
+    /// Choose the injection order (default: [`JobOrder::Cost`]).
+    pub fn with_order(mut self, order: JobOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Supply prior wall-clock measurements for the LPT order.
+    pub fn with_cost_table(mut self, costs: CostTable) -> Self {
+        self.costs = costs;
+        self
+    }
+
     pub fn thread_count(&self) -> usize {
         self.threads
     }
 
+    /// The wall-clocks this runner has measured so far (all `run`/
+    /// `run_suite` calls on this instance), keyed like the prior table —
+    /// persist with [`CostTable::save`] to feed the next run's ordering.
+    pub fn observed_costs(&self) -> CostTable {
+        self.observed.lock().unwrap().clone()
+    }
+
     /// Run `scenario` over every `(grid point, seed)` combination.
+    /// Panics (with every failing job named) if any job panics; use
+    /// [`SweepRunner::try_run`] to handle failures programmatically.
     pub fn run(&self, scenario: &dyn Scenario, grid: &SweepGrid) -> SweepResult {
-        let points = grid.points(&scenario.default_params());
+        self.try_run(scenario, grid)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`SweepRunner::run`].
+    pub fn try_run(
+        &self,
+        scenario: &dyn Scenario,
+        grid: &SweepGrid,
+    ) -> Result<SweepResult, SweepError> {
+        let mut results = self.try_run_suite(&[(scenario, grid.clone())])?;
+        Ok(results.pop().expect("one task in, one result out"))
+    }
+
+    /// Run several scenarios' sweeps through one shared work pool, so short
+    /// scenarios pack around long ones instead of queueing behind a
+    /// per-scenario barrier. Results come back in task order.
+    pub fn run_suite(&self, tasks: &[(&dyn Scenario, SweepGrid)]) -> Vec<SweepResult> {
+        self.try_run_suite(tasks).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`SweepRunner::run_suite`].
+    pub fn try_run_suite(
+        &self,
+        tasks: &[(&dyn Scenario, SweepGrid)],
+    ) -> Result<Vec<SweepResult>, SweepError> {
         let n_seeds = self.seeds.len();
-        let n_jobs = points.len() * n_seeds;
 
-        // Job i = (point i / n_seeds, seed i % n_seeds); slots are indexed by
-        // job id, so completion order cannot influence the output.
-        let slots: Vec<Mutex<Option<Metrics>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
-        let cursor = AtomicUsize::new(0);
-
-        let worker = |_wid: usize| loop {
-            let job = cursor.fetch_add(1, Ordering::Relaxed);
-            if job >= n_jobs {
-                break;
+        // Expand every task's grid; jobs get consecutive global slots in
+        // task-major, point-major, seed-minor order.
+        let points: Vec<Vec<Params>> = tasks
+            .iter()
+            .map(|(s, g)| g.points(&s.default_params()))
+            .collect();
+        let mut jobs: Vec<Job> = Vec::new();
+        for (task, task_points) in points.iter().enumerate() {
+            for point in 0..task_points.len() {
+                for seed_idx in 0..n_seeds {
+                    jobs.push(Job {
+                        slot: jobs.len(),
+                        task,
+                        point,
+                        seed_idx,
+                    });
+                }
             }
-            let params = &points[job / n_seeds];
-            let seed = self.seeds[job % n_seeds];
-            let mut sim = Simulation::new(seed);
-            let metrics = scenario.run(&mut sim, params);
-            *slots[job].lock().unwrap() = Some(metrics);
+        }
+        let n_jobs = jobs.len();
+
+        // Deadline-aware ordering: estimate each point once, then inject
+        // longest-expected-first. Estimates steer only the start order —
+        // results are slot-indexed, so the artifact cannot observe them.
+        if self.order == JobOrder::Cost {
+            let estimates: Vec<Vec<f64>> = tasks
+                .iter()
+                .zip(&points)
+                .map(|((s, _), pts)| {
+                    pts.iter()
+                        .map(|p| self.costs.estimate(s.name(), p))
+                        .collect()
+                })
+                .collect();
+            jobs.sort_by(|a, b| {
+                estimates[b.task][b.point]
+                    .total_cmp(&estimates[a.task][a.point])
+                    .then(a.slot.cmp(&b.slot))
+            });
+        }
+
+        let injector = Injector::new();
+        for job in &jobs {
+            injector.push(*job);
+        }
+
+        let threads = self.threads.min(n_jobs.max(1));
+        let workers: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<Job>> = workers.iter().map(Worker::stealer).collect();
+        let slots: SlotBuffer<Metrics> = SlotBuffer::new(n_jobs);
+        let failures: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
+        let timings: Mutex<CostTable> = Mutex::new(CostTable::new());
+
+        let run_worker = |local: Worker<Job>| {
+            let mut observed = CostTable::new();
+            // The canonical crossbeam find-task loop: local deque first,
+            // then a batch from the injector, then steal from siblings;
+            // repeat while anything reports Retry.
+            let find_task = || {
+                local.pop().or_else(|| {
+                    std::iter::repeat_with(|| {
+                        injector
+                            .steal_batch_and_pop(&local)
+                            .or_else(|| stealers.iter().map(Stealer::steal).collect())
+                    })
+                    .find(|s: &Steal<Job>| !s.is_retry())
+                    .and_then(Steal::success)
+                })
+            };
+            while let Some(job) = find_task() {
+                let (scenario, _) = &tasks[job.task];
+                let params = &points[job.task][job.point];
+                let seed = self.seeds[job.seed_idx];
+                let started = Instant::now();
+                // A panicking scenario must not poison shared state or lose
+                // its identity: catch it here and report (scenario, point,
+                // seed). AssertUnwindSafe is sound because a failed sweep
+                // discards all results (no broken invariant is ever read).
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut sim = Simulation::new(seed);
+                    scenario.run(&mut sim, params)
+                }));
+                match outcome {
+                    Ok(metrics) => {
+                        observed.record(
+                            &CostTable::key(scenario.name(), params),
+                            started.elapsed().as_secs_f64(),
+                        );
+                        // SAFETY: `job.slot` is unique per job and the deque
+                        // delivered this job to exactly this worker; the
+                        // scope join below sequences the write before
+                        // `into_vec`.
+                        unsafe { slots.put(job.slot, metrics) };
+                    }
+                    Err(payload) => failures.lock().unwrap().push(JobFailure {
+                        scenario: scenario.name().to_string(),
+                        point: params.label(),
+                        seed,
+                        message: panic_message(payload.as_ref()),
+                    }),
+                }
+            }
+            timings.lock().unwrap().merge(&observed);
         };
 
-        if self.threads == 1 {
-            worker(0);
+        let mut workers = workers.into_iter();
+        if threads <= 1 {
+            run_worker(workers.next().expect("one worker"));
         } else {
+            let run_worker = &run_worker;
             std::thread::scope(|scope| {
-                for wid in 0..self.threads {
-                    scope.spawn(move || worker(wid));
+                for local in workers {
+                    scope.spawn(move || run_worker(local));
                 }
             });
         }
 
-        let point_results = points
-            .into_iter()
-            .enumerate()
-            .map(|(pi, params)| {
-                let per_seed: Vec<(u64, Metrics)> = (0..n_seeds)
-                    .map(|si| {
-                        let m = slots[pi * n_seeds + si]
-                            .lock()
-                            .unwrap()
-                            .take()
-                            .expect("every job ran");
-                        (self.seeds[si], m)
-                    })
-                    .collect();
-                let summary =
-                    summarize(&per_seed.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>());
-                PointResult {
-                    params,
-                    per_seed,
-                    summary,
-                }
-            })
-            .collect();
+        self.observed
+            .lock()
+            .unwrap()
+            .merge(&timings.into_inner().unwrap());
 
-        SweepResult {
-            scenario: scenario.name().to_string(),
-            seeds: self.seeds.clone(),
-            points: point_results,
+        let mut failures = failures.into_inner().unwrap();
+        if !failures.is_empty() {
+            // Deterministic report order however the pool interleaved.
+            failures.sort_by(|a, b| {
+                (&a.scenario, &a.point, a.seed).cmp(&(&b.scenario, &b.point, b.seed))
+            });
+            return Err(SweepError { failures });
         }
+
+        // Collect slot-major: task, point, seed — the injection order never
+        // shows up here.
+        let mut slot_values = slots.into_vec().into_iter();
+        let mut results = Vec::with_capacity(tasks.len());
+        for ((scenario, _), task_points) in tasks.iter().zip(points) {
+            let point_results = task_points
+                .into_iter()
+                .map(|params| {
+                    let per_seed: Vec<(u64, Metrics)> = self
+                        .seeds
+                        .iter()
+                        .map(|&seed| {
+                            let m = slot_values
+                                .next()
+                                .flatten()
+                                .expect("every non-failed job filled its slot");
+                            (seed, m)
+                        })
+                        .collect();
+                    let summary =
+                        summarize(&per_seed.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>());
+                    PointResult {
+                        params,
+                        per_seed,
+                        summary,
+                    }
+                })
+                .collect();
+            results.push(SweepResult {
+                scenario: scenario.name().to_string(),
+                seeds: self.seeds.clone(),
+                points: point_results,
+            });
+        }
+        Ok(results)
+    }
+}
+
+/// Best-effort text of a panic payload (panics carry `&str` or `String`
+/// unless thrown with `panic_any`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -209,6 +513,54 @@ mod tests {
     }
 
     #[test]
+    fn job_order_cannot_influence_results() {
+        let grid = SweepGrid::new().axis("k", vec![1u64, 2, 3, 4]);
+        let mut prior = CostTable::new();
+        // A deliberately *wrong* prior (claims k=1 is the longest job):
+        // ordering may be misled, results must not be.
+        prior.record("probe|k=1", 100.0);
+        prior.record("probe|k=4", 0.001);
+        let cost = SweepRunner::new(3, vec![1, 2])
+            .with_cost_table(prior)
+            .run(&Probe, &grid);
+        let input = SweepRunner::new(3, vec![1, 2])
+            .with_order(JobOrder::Input)
+            .run(&Probe, &grid);
+        assert!(cost.bits_eq(&input));
+    }
+
+    #[test]
+    fn run_suite_matches_individual_runs() {
+        struct Probe2;
+        impl Scenario for Probe2 {
+            fn name(&self) -> &'static str {
+                "probe2"
+            }
+            fn title(&self) -> &'static str {
+                "second probe"
+            }
+            fn default_params(&self) -> Params {
+                Params::new().with("j", 5u64)
+            }
+            fn run(&self, sim: &mut Simulation, params: &Params) -> Metrics {
+                let mut m = Metrics::new();
+                m.push("j", params.f64("j", 0.0));
+                m.push("draw", sim.stream("probe2").f64());
+                m
+            }
+        }
+        let grid1 = SweepGrid::new().axis("k", vec![1u64, 2]);
+        let grid2 = SweepGrid::new();
+        let runner = SweepRunner::new(4, vec![3, 4]);
+        let suite = runner.run_suite(&[(&Probe, grid1.clone()), (&Probe2, grid2.clone())]);
+        assert_eq!(suite.len(), 2);
+        let solo1 = SweepRunner::new(1, vec![3, 4]).run(&Probe, &grid1);
+        let solo2 = SweepRunner::new(1, vec![3, 4]).run(&Probe2, &grid2);
+        assert!(suite[0].bits_eq(&solo1), "suite result order is task order");
+        assert!(suite[1].bits_eq(&solo2));
+    }
+
+    #[test]
     fn summaries_cover_all_seeds() {
         let result = SweepRunner::new(2, vec![1, 2, 3, 4]).run(&Probe, &SweepGrid::new());
         let (_, draw) = result.points[0]
@@ -224,5 +576,74 @@ mod tests {
     fn default_seed_sequence_starts_at_report_seed() {
         assert_eq!(SweepRunner::seeds(3), vec![42, 43, 44]);
         assert_eq!(SweepRunner::seeds(0), vec![42], "clamped to one seed");
+    }
+
+    #[test]
+    fn observed_costs_accumulate_per_point_shape() {
+        let runner = SweepRunner::new(2, vec![1, 2, 3]);
+        let grid = SweepGrid::new().axis("k", vec![1u64, 2]);
+        runner.run(&Probe, &grid);
+        let observed = runner.observed_costs();
+        for key in ["probe|k=1", "probe|k=2"] {
+            let mean = observed.mean_secs(key).expect("key measured");
+            assert!(mean >= 0.0 && mean.is_finite(), "{key}: {mean}");
+        }
+    }
+
+    /// A scenario that panics on one specific (point, seed) pair.
+    struct Grenade;
+
+    impl Scenario for Grenade {
+        fn name(&self) -> &'static str {
+            "grenade"
+        }
+        fn title(&self) -> &'static str {
+            "panics on k=2, seed 8"
+        }
+        fn default_params(&self) -> Params {
+            Params::new().with("k", 1u64)
+        }
+        fn run(&self, sim: &mut Simulation, params: &Params) -> Metrics {
+            assert!(
+                !(params.u64("k", 0) == 2 && sim.seed() == 8),
+                "simulated scenario bug"
+            );
+            Metrics::new()
+        }
+    }
+
+    #[test]
+    fn panicking_job_reports_its_identity() {
+        let grid = SweepGrid::new().axis("k", vec![1u64, 2, 3]);
+        for threads in [1, 4] {
+            let err = SweepRunner::new(threads, vec![7, 8])
+                .try_run(&Grenade, &grid)
+                .expect_err("the k=2/seed=8 job panics");
+            assert_eq!(err.failures.len(), 1, "threads={threads}");
+            let j = &err.failures[0];
+            assert_eq!(j.scenario, "grenade");
+            assert_eq!(j.point, "k=2");
+            assert_eq!(j.seed, 8);
+            assert!(
+                j.message.contains("simulated scenario bug"),
+                "{}",
+                j.message
+            );
+            let display = err.to_string();
+            assert!(display.contains("scenario `grenade` point `k=2` seed 8"));
+        }
+    }
+
+    #[test]
+    fn surviving_jobs_do_not_mask_the_failure() {
+        // Every other job completes; the one grenade must still fail the
+        // sweep (partial artifacts would silently skew aggregates) and the
+        // error must name exactly the failing job.
+        let grid = SweepGrid::new().axis("k", vec![2u64]);
+        let err = SweepRunner::new(2, vec![7, 8, 9])
+            .try_run(&Grenade, &grid)
+            .expect_err("seed 8 panics");
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].seed, 8);
     }
 }

@@ -123,6 +123,81 @@ fn sweep_with_cancellation_heavy_scenario_is_deterministic() {
     }
 }
 
+/// Work-stealing under heavy job-length skew: a sweep whose longest point
+/// does ~400× the work of its shortest (the fig01-vs-everything-else shape
+/// that motivates LPT ordering) must still be bit-identical to serial, both
+/// with the cost-table order misled by wrong priors and with input order.
+/// Stealing moves jobs between workers *while* their siblings execute long
+/// traces — exactly the interleaving the lock-free deque must get right.
+#[test]
+fn work_stealing_is_bit_identical_under_job_length_skew() {
+    use des::{SimTime, Simulation};
+    use scenarios::{CostTable, JobOrder, Metrics, Params, Scenario};
+
+    struct Skewed;
+
+    impl Scenario for Skewed {
+        fn name(&self) -> &'static str {
+            "skewed_probe"
+        }
+        fn title(&self) -> &'static str {
+            "job lengths spanning two orders of magnitude"
+        }
+        fn default_params(&self) -> Params {
+            Params::new().with("events", 10u64)
+        }
+        fn run(&self, sim: &mut Simulation, params: &Params) -> Metrics {
+            let events = params.u64("events", 10);
+            // Real simulated work, proportional to the axis: every event
+            // draws from a seed-derived stream, so the final digest is a
+            // pure function of (params, seed) and any cross-job state leak
+            // or slot-routing bug shows up as a bitwise mismatch.
+            let acc = std::sync::Arc::new(std::sync::Mutex::new(0.0f64));
+            for i in 0..events {
+                let acc = std::sync::Arc::clone(&acc);
+                let mut rng = sim.stream(&format!("e{i}"));
+                let dt = SimTime::from_nanos(1 + rng.u64_range(0..1000));
+                let draw = rng.f64();
+                sim.schedule_after(dt, move |_| {
+                    *acc.lock().unwrap() += draw;
+                });
+            }
+            sim.run();
+            let mut m = Metrics::new();
+            m.push("sum", *acc.lock().unwrap());
+            m.push("executed", sim.events_executed() as f64);
+            m
+        }
+    }
+
+    let grid = SweepGrid::new().axis("events", vec![2000u64, 5, 800, 1, 400, 50]);
+    let seeds = vec![42, 43, 44];
+    let serial = SweepRunner::new(1, seeds.clone()).run(&Skewed, &grid);
+
+    // Misleading priors: claim the shortest job is by far the longest, so
+    // LPT starts the sweep in the worst possible order.
+    let mut wrong_priors = CostTable::new();
+    wrong_priors.record("skewed_probe|events=1", 1e6);
+    wrong_priors.record("skewed_probe|events=2000", 1e-9);
+
+    for threads in [2, 4, 8] {
+        let stolen = SweepRunner::new(threads, seeds.clone())
+            .with_cost_table(wrong_priors.clone())
+            .run(&Skewed, &grid);
+        assert!(
+            serial.bits_eq(&stolen),
+            "threads={threads} with misleading cost priors diverged"
+        );
+        let input_order = SweepRunner::new(threads, seeds.clone())
+            .with_order(JobOrder::Input)
+            .run(&Skewed, &grid);
+        assert!(
+            serial.bits_eq(&input_order),
+            "threads={threads} input order diverged"
+        );
+    }
+}
+
 /// The engine-level half of the property: an identical simulation driven on
 /// two different worker threads produces the identical event trace.
 #[test]

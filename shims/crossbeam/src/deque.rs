@@ -1,0 +1,671 @@
+//! Work-stealing deques — the `crossbeam::deque` API surface.
+//!
+//! Three types, mirroring crossbeam-deque 0.8:
+//!
+//! - [`Worker<T>`]: the owner side of a Chase–Lev deque. The owning thread
+//!   pushes and pops; LIFO and FIFO flavors decide which end `pop` takes.
+//! - [`Stealer<T>`]: cloneable handles other threads use to steal single
+//!   tasks from the deque's top.
+//! - [`Injector<T>`]: a shared FIFO queue for injecting work into the pool;
+//!   workers grab batches from it into their local deque.
+//!
+//! The `Worker`/`Stealer` pair is a genuine lock-free Chase–Lev deque
+//! (dynamic circular work-stealing deque, Chase & Lev 2005, with the
+//! single-element CAS race of the Le et al. C11 formulation). Two deliberate
+//! simplifications versus the real crate:
+//!
+//! - all atomics use `SeqCst` — this workload hands out whole simulation
+//!   runs, so per-op fence cost is irrelevant next to reasoning simplicity;
+//! - grown buffers are retired to a list freed when the last handle drops,
+//!   instead of epoch-based reclamation, so a stealer holding a stale buffer
+//!   pointer always reads valid (if superseded) memory.
+//!
+//! Like the real crate, a stealer copies the slot *before* its CAS on `top`
+//! and materialises the value only if the CAS succeeds; a copy raced by the
+//! owner is discarded without being read (the CAS necessarily fails in that
+//! interleaving, because the owner can only reuse a slot after advancing
+//! `top` past it).
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicIsize, AtomicPtr, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was observed empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// A concurrent operation interfered; retrying may succeed.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// If this is `Empty`, try the next source; `Success`/`Retry` stand.
+    pub fn or_else<F: FnOnce() -> Steal<T>>(self, f: F) -> Steal<T> {
+        match self {
+            Steal::Empty => f(),
+            s => s,
+        }
+    }
+}
+
+/// Folding steal attempts over several sources: the first `Success` wins;
+/// otherwise `Retry` if any source asked for a retry, else `Empty`. This is
+/// what makes `stealers.iter().map(|s| s.steal()).collect()` work in the
+/// canonical `find_task` loop.
+impl<T> FromIterator<Steal<T>> for Steal<T> {
+    fn from_iter<I: IntoIterator<Item = Steal<T>>>(iter: I) -> Steal<T> {
+        let mut retry = false;
+        for s in iter {
+            match s {
+                Steal::Success(v) => return Steal::Success(v),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if retry {
+            Steal::Retry
+        } else {
+            Steal::Empty
+        }
+    }
+}
+
+/// Growable circular buffer. Slots are only initialised between `top` and
+/// `bottom`; indices increase monotonically and wrap through the mask.
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T> Buffer<T> {
+    /// `cap` must be a power of two.
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Box::into_raw(Box::new(Buffer { slots }))
+    }
+
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn slot(&self, index: isize) -> &UnsafeCell<MaybeUninit<T>> {
+        &self.slots[index as usize & (self.cap() - 1)]
+    }
+
+    /// # Safety
+    /// Owner-only, and the slot at `index` must be logically vacant.
+    unsafe fn write(&self, index: isize, value: T) {
+        (*self.slot(index).get()).write(value);
+    }
+
+    /// Bitwise copy without claiming initialisation — the caller decides
+    /// (after its CAS) whether the copy is real or must be discarded.
+    ///
+    /// # Safety
+    /// `index` must be in bounds of the live region at some recent instant.
+    unsafe fn read_raw(&self, index: isize) -> MaybeUninit<T> {
+        std::ptr::read(self.slot(index).get())
+    }
+
+    /// # Safety
+    /// The slot must hold an initialised value that no other thread can
+    /// still claim.
+    unsafe fn read(&self, index: isize) -> T {
+        self.read_raw(index).assume_init()
+    }
+}
+
+/// State shared by one `Worker` and its `Stealer`s.
+struct Inner<T> {
+    /// Stealers advance `top`; the owner's `pop` races them on the last
+    /// element with a CAS.
+    top: AtomicIsize,
+    /// Owner-only cursor (stealers just read it).
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Superseded buffers, kept alive until every handle is gone so stale
+    /// stealer reads stay inside valid allocations.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Exclusive access: drop the live elements, then free every buffer.
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        let buf = *self.buffer.get_mut();
+        unsafe {
+            for i in t..b {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+            for old in self.retired.get_mut().unwrap().drain(..) {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+impl<T> Inner<T> {
+    fn with_capacity(cap: usize) -> Arc<Inner<T>> {
+        Arc::new(Inner {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Buffer::alloc(cap)),
+            retired: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn len(&self) -> usize {
+        let b = self.bottom.load(SeqCst);
+        let t = self.top.load(SeqCst);
+        (b - t).max(0) as usize
+    }
+
+    /// Steal one task from the top. Shared by `Stealer::steal` and the FIFO
+    /// worker's `pop`.
+    fn steal_top(&self) -> Steal<T> {
+        let t = self.top.load(SeqCst);
+        let b = self.bottom.load(SeqCst);
+        if b - t <= 0 {
+            return Steal::Empty;
+        }
+        let buf = self.buffer.load(SeqCst);
+        // Copy before the CAS; only materialise on success (see module doc).
+        let copy = unsafe { (*buf).read_raw(t) };
+        if self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok() {
+            Steal::Success(unsafe { copy.assume_init() })
+        } else {
+            // `copy` may be a torn duplicate — MaybeUninit, so dropping the
+            // wrapper here runs no destructor and duplicates nothing.
+            Steal::Retry
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Lifo,
+    Fifo,
+}
+
+/// The owner handle of a work-stealing deque.
+///
+/// `Send` (a worker can be moved into its thread) but deliberately `!Sync`:
+/// push/pop assume a single owning thread, exactly like the real crate.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    flavor: Flavor,
+    /// `Cell` is `Send + !Sync`, which is exactly the marker needed.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+unsafe impl<T: Send> Send for Worker<T> {}
+
+const INITIAL_CAP: usize = 64;
+
+impl<T> Worker<T> {
+    /// A deque whose `pop` takes the most recently pushed task.
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            inner: Inner::with_capacity(INITIAL_CAP),
+            flavor: Flavor::Lifo,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// A deque whose `pop` takes tasks in push order (front of the queue, the
+    /// same end stealers take from).
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            inner: Inner::with_capacity(INITIAL_CAP),
+            flavor: Flavor::Fifo,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// A handle other threads can steal through.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Push a task onto the bottom.
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(SeqCst);
+        let t = inner.top.load(SeqCst);
+        let mut buf = inner.buffer.load(SeqCst);
+        if (b - t) as usize >= unsafe { (*buf).cap() } {
+            buf = self.grow(t, b);
+        }
+        unsafe { (*buf).write(b, value) };
+        inner.bottom.store(b + 1, SeqCst);
+    }
+
+    /// Owner-only: relocate the live region into a buffer twice the size.
+    /// The old buffer is retired, not freed — in-flight stealers may still
+    /// read (bitwise copies of) its slots.
+    fn grow(&self, t: isize, b: isize) -> *mut Buffer<T> {
+        let inner = &*self.inner;
+        let old = inner.buffer.load(SeqCst);
+        let new = Buffer::alloc(unsafe { (*old).cap() } * 2);
+        unsafe {
+            for i in t..b {
+                (*new).write(i, (*old).read_raw(i).assume_init());
+            }
+        }
+        inner.buffer.store(new, SeqCst);
+        inner.retired.lock().unwrap().push(old);
+        new
+    }
+
+    /// Pop a task from the flavor's end.
+    pub fn pop(&self) -> Option<T> {
+        match self.flavor {
+            Flavor::Fifo => loop {
+                // FIFO pops compete with stealers for the top element; the
+                // owner retries on interference (it cannot lose forever:
+                // every failed CAS means somebody made progress).
+                match self.inner.steal_top() {
+                    Steal::Success(v) => return Some(v),
+                    Steal::Empty => return None,
+                    Steal::Retry => {}
+                }
+            },
+            Flavor::Lifo => self.pop_bottom(),
+        }
+    }
+
+    /// Classic Chase–Lev owner pop from the bottom.
+    fn pop_bottom(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(SeqCst) - 1;
+        let buf = inner.buffer.load(SeqCst);
+        inner.bottom.store(b, SeqCst);
+        let t = inner.top.load(SeqCst);
+        if t <= b {
+            if t == b {
+                // Single element left: race the stealers for it.
+                let value = if inner.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok() {
+                    Some(unsafe { (*buf).read(b) })
+                } else {
+                    None // a stealer won the last element
+                };
+                inner.bottom.store(b + 1, SeqCst);
+                value
+            } else {
+                // More than one element: the bottom one is owner-exclusive.
+                Some(unsafe { (*buf).read(b) })
+            }
+        } else {
+            // Deque was empty; restore bottom.
+            inner.bottom.store(b + 1, SeqCst);
+            None
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker").field("len", &self.len()).finish()
+    }
+}
+
+/// A cloneable stealing handle to one worker's deque.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+unsafe impl<T: Send> Send for Stealer<T> {}
+unsafe impl<T: Send> Sync for Stealer<T> {}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Try to steal one task from the top of the deque.
+    pub fn steal(&self) -> Steal<T> {
+        self.inner.steal_top()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stealer").field("len", &self.len()).finish()
+    }
+}
+
+/// Most tasks an `steal_batch*` call moves into the destination worker.
+const MAX_BATCH: usize = 16;
+
+/// A shared FIFO injection queue.
+///
+/// Unlike the `Worker`/`Stealer` pair this is mutex-backed — injection
+/// happens once per sweep and batch grabs amortise the lock, so lock-free
+/// machinery buys nothing here (a documented deviation from the real crate).
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Injector<T> {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, value: T) {
+        self.queue.lock().unwrap().push_back(value);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+
+    /// Steal one task from the front.
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap().pop_front() {
+            Some(v) => Steal::Success(v),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steal a batch: return the front task and move up to half the queue
+    /// (capped at [`MAX_BATCH`]) into `dest`, preserving FIFO order.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut queue = self.queue.lock().unwrap();
+        let first = match queue.pop_front() {
+            Some(v) => v,
+            None => return Steal::Empty,
+        };
+        let extra = (queue.len().div_ceil(2)).min(MAX_BATCH - 1);
+        for _ in 0..extra {
+            dest.push(queue.pop_front().expect("len checked"));
+        }
+        Steal::Success(first)
+    }
+}
+
+impl<T> std::fmt::Debug for Injector<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Injector")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn lifo_pops_newest_first() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn fifo_pops_oldest_first() {
+        let w = Worker::new_fifo();
+        for i in 0..5 {
+            w.push(i);
+        }
+        for i in 0..5 {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealers_take_from_the_top() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1), "oldest element");
+        assert_eq!(w.pop(), Some(2), "owner still sees the newest");
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn buffer_growth_preserves_contents() {
+        let w = Worker::new_fifo();
+        let n = INITIAL_CAP * 5 + 3;
+        for i in 0..n {
+            w.push(i);
+        }
+        assert_eq!(w.len(), n);
+        for i in 0..n {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn drop_releases_unconsumed_elements() {
+        // Arc payloads: leaked or double-freed elements would show in the
+        // strong count (double free would likely abort under a sanitizer,
+        // leak shows here).
+        let probe = Arc::new(());
+        {
+            let w = Worker::new_lifo();
+            for _ in 0..100 {
+                w.push(Arc::clone(&probe));
+            }
+            for _ in 0..40 {
+                w.pop();
+            }
+            // 60 still queued when the deque drops.
+        }
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn steal_collect_folds_sources() {
+        let empty: Steal<u8> = [Steal::Empty, Steal::Empty].into_iter().collect();
+        assert!(empty.is_empty());
+        let retry: Steal<u8> = [Steal::Empty, Steal::Retry].into_iter().collect();
+        assert!(retry.is_retry());
+        let success: Steal<u8> = [Steal::Retry, Steal::Success(7)].into_iter().collect();
+        assert_eq!(success.success(), Some(7));
+    }
+
+    #[test]
+    fn injector_batches_preserve_fifo_order() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_fifo();
+        let first = inj.steal_batch_and_pop(&w);
+        assert_eq!(first, Steal::Success(0));
+        // Half of the remaining nine (ceil) moved over, in order.
+        assert_eq!(w.len(), 5);
+        for i in 1..=5 {
+            assert_eq!(w.pop(), Some(i));
+        }
+        assert_eq!(inj.len(), 4);
+        assert_eq!(inj.steal(), Steal::Success(6));
+    }
+
+    /// Multi-threaded conservation oracle: whatever interleaving happens,
+    /// the union of owner pops and stealer steals must be exactly the pushed
+    /// multiset — the same guarantee a `Mutex<VecDeque>` deque gives, which
+    /// is the oracle this lock-free implementation must match.
+    #[test]
+    fn concurrent_steals_conserve_the_multiset() {
+        const N: usize = 20_000;
+        const STEALERS: usize = 3;
+        for flavor in ["lifo", "fifo"] {
+            let w = if flavor == "lifo" {
+                Worker::new_lifo()
+            } else {
+                Worker::new_fifo()
+            };
+            let taken = AtomicUsize::new(0);
+            let mut all: Vec<usize> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for _ in 0..STEALERS {
+                    let s = w.stealer();
+                    let taken = &taken;
+                    handles.push(scope.spawn(move || {
+                        let mut got = Vec::new();
+                        while taken.load(SeqCst) < N {
+                            if let Steal::Success(v) = s.steal() {
+                                taken.fetch_add(1, SeqCst);
+                                got.push(v);
+                            }
+                        }
+                        got
+                    }));
+                }
+                // Owner: interleave pushes with pops, then drain.
+                let mut got = Vec::new();
+                for i in 0..N {
+                    w.push(i);
+                    if i % 3 == 0 {
+                        if let Some(v) = w.pop() {
+                            taken.fetch_add(1, SeqCst);
+                            got.push(v);
+                        }
+                    }
+                }
+                while taken.load(SeqCst) < N {
+                    if let Some(v) = w.pop() {
+                        taken.fetch_add(1, SeqCst);
+                        got.push(v);
+                    }
+                }
+                all.extend(got);
+                for h in handles {
+                    all.extend(h.join().expect("stealer thread"));
+                }
+            });
+            all.sort_unstable();
+            let expect: Vec<usize> = (0..N).collect();
+            assert_eq!(all, expect, "{flavor}: every task exactly once");
+        }
+    }
+
+    /// Same conservation property through the whole injector → worker →
+    /// stealer pipeline the sweep runner uses.
+    #[test]
+    fn injector_pipeline_conserves_tasks() {
+        const N: usize = 10_000;
+        const WORKERS: usize = 4;
+        let inj = Injector::new();
+        for i in 0..N {
+            inj.push(i);
+        }
+        let locals: Vec<Worker<usize>> = (0..WORKERS).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<usize>> = locals.iter().map(|w| w.stealer()).collect();
+        let taken = AtomicUsize::new(0);
+        let mut all: Vec<usize> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for local in locals {
+                let inj = &inj;
+                let stealers = &stealers;
+                let taken = &taken;
+                handles.push(scope.spawn(move || {
+                    let mut got = Vec::new();
+                    while taken.load(SeqCst) < N {
+                        let task = local.pop().or_else(|| {
+                            std::iter::repeat_with(|| {
+                                inj.steal_batch_and_pop(&local)
+                                    .or_else(|| stealers.iter().map(|s| s.steal()).collect())
+                            })
+                            .find(|s| !s.is_retry())
+                            .and_then(Steal::success)
+                        });
+                        if let Some(v) = task {
+                            taken.fetch_add(1, SeqCst);
+                            got.push(v);
+                        }
+                    }
+                    got
+                }));
+            }
+            for h in handles {
+                all.extend(h.join().expect("worker thread"));
+            }
+        });
+        all.sort_unstable();
+        assert_eq!(all, (0..N).collect::<Vec<_>>());
+    }
+}

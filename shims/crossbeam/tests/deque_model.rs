@@ -1,0 +1,82 @@
+//! Property tests: arbitrary push/pop/steal interleavings on one thread,
+//! checked against a `VecDeque` serial model. Single-threaded sequences are
+//! exactly where the model's semantics are total (no racing), so every
+//! operation must agree with the oracle: LIFO pops take the back, FIFO pops
+//! and steals take the front, and a steal never returns `Retry` without a
+//! competing thread.
+
+use crossbeam::deque::{Steal, Worker};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// One scripted operation; values are assigned sequentially by the driver.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push,
+    Pop,
+    Steal,
+}
+
+fn op_from(byte: u8) -> Op {
+    match byte % 3 {
+        0 => Op::Push,
+        1 => Op::Pop,
+        _ => Op::Steal,
+    }
+}
+
+fn run_script(lifo: bool, script: &[u8]) -> Result<(), TestCaseError> {
+    let worker = if lifo {
+        Worker::new_lifo()
+    } else {
+        Worker::new_fifo()
+    };
+    let stealer = worker.stealer();
+    let mut model: VecDeque<u64> = VecDeque::new();
+    let mut next = 0u64;
+    for (step, byte) in script.iter().enumerate() {
+        match op_from(*byte) {
+            Op::Push => {
+                worker.push(next);
+                model.push_back(next);
+                next += 1;
+            }
+            Op::Pop => {
+                let expect = if lifo {
+                    model.pop_back()
+                } else {
+                    model.pop_front()
+                };
+                prop_assert_eq!(worker.pop(), expect, "pop at step {}", step);
+            }
+            Op::Steal => {
+                let got = match stealer.steal() {
+                    Steal::Success(v) => Some(v),
+                    Steal::Empty => None,
+                    Steal::Retry => {
+                        return Err(TestCaseError::fail(format!(
+                            "uncontended steal returned Retry at step {step}"
+                        )))
+                    }
+                };
+                prop_assert_eq!(got, model.pop_front(), "steal at step {}", step);
+            }
+        }
+        prop_assert_eq!(worker.len(), model.len(), "len at step {}", step);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn lifo_deque_matches_serial_model(script in prop::collection::vec(any::<u8>(), 0..200)) {
+        run_script(true, &script)?;
+    }
+
+    #[test]
+    fn fifo_deque_matches_serial_model(script in prop::collection::vec(any::<u8>(), 0..200)) {
+        run_script(false, &script)?;
+    }
+}
