@@ -5,7 +5,7 @@
 //!                 --current target/figures/BENCH_event_loop.json \
 //!                 [--max-regression 0.20] [--sweep-seconds N] [--report PATH]
 //! perf_gate update-baseline --baseline ci/perf_baseline.json \
-//!                 --current target/figures/BENCH_event_loop.json
+//!                 --current target/figures/BENCH_event_loop.json [--dry-run]
 //! ```
 //!
 //! `check` compares every metric of the committed baseline against the
@@ -17,6 +17,9 @@
 //!
 //! Baselines are machine-dependent: refresh with `update-baseline` when the
 //! reference hardware changes, and keep the committed numbers conservative.
+//! `update-baseline --dry-run` prints the old → new diff per metric (the
+//! same table CI logs on every run) without touching the baseline file, so
+//! a refresh can be reviewed before it is committed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -58,6 +61,7 @@ struct Args {
     max_regression: f64,
     sweep_seconds: Option<f64>,
     report: Option<PathBuf>,
+    dry_run: bool,
 }
 
 fn parse_args(rest: &[String]) -> Result<Args, String> {
@@ -66,6 +70,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
     let mut max_regression = 0.20;
     let mut sweep_seconds = None;
     let mut report = None;
+    let mut dry_run = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -89,6 +94,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
                 );
             }
             "--report" => report = Some(PathBuf::from(value("--report")?)),
+            "--dry-run" => dry_run = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -98,6 +104,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         max_regression,
         sweep_seconds,
         report,
+        dry_run,
     })
 }
 
@@ -156,7 +163,38 @@ fn cmd_check(args: Args) -> Result<bool, String> {
 
 fn cmd_update_baseline(args: Args) -> Result<(), String> {
     // Validate before copying so a broken bench run can't poison the gate.
-    parse_flat_json(&args.current)?;
+    let current = parse_flat_json(&args.current)?;
+    // Diff against the existing baseline (if any) so the refresh — or the
+    // --dry-run preview of it — shows exactly what would change. CI prints
+    // this table on every run, making the old → new trajectory greppable.
+    let old = if args.baseline.exists() {
+        parse_flat_json(&args.baseline)?
+    } else {
+        Vec::new()
+    };
+    println!(
+        "baseline diff ({} -> {}):",
+        args.baseline.display(),
+        args.current.display()
+    );
+    for (key, cur) in &current {
+        match old.iter().find(|(k, _)| k == key) {
+            Some((_, base)) => println!(
+                "  {key:<40} {base:>14.0} -> {cur:>14.0}  ({:+.1}%)",
+                (cur / base - 1.0) * 100.0
+            ),
+            None => println!("  {key:<40} {:>14} -> {cur:>14.0}  (new)", "-"),
+        }
+    }
+    for (key, base) in &old {
+        if !current.iter().any(|(k, _)| k == key) {
+            println!("  {key:<40} {base:>14.0} -> {:>14}  (removed)", "-");
+        }
+    }
+    if args.dry_run {
+        println!("dry run: baseline left untouched");
+        return Ok(());
+    }
     std::fs::copy(&args.current, &args.baseline)
         .map_err(|e| format!("copying {:?} -> {:?}: {e}", args.current, args.baseline))?;
     println!(
@@ -182,7 +220,7 @@ fn main() -> ExitCode {
         }
         _ => Err(
             "usage: perf_gate <check|update-baseline> --baseline PATH --current PATH \
-                  [--max-regression F] [--sweep-seconds N] [--report PATH]"
+                  [--max-regression F] [--sweep-seconds N] [--report PATH] [--dry-run]"
                 .to_string(),
         ),
     };

@@ -165,9 +165,14 @@ fn schedule_and_register_completions(sim: &mut Simulation, st: &Arc<TraceState>)
             mon.record_exact_idle_period(p);
         }
     }
-    for (id, runtime) in started {
+    // Batch the completion timers: one arrival can start a whole backlog of
+    // queued jobs, and `schedule_batch` reserves arena capacity for the run
+    // once instead of growing per event. Each closure captures an `Arc` plus
+    // a job id — two words, so every completion stays on the inline-cell
+    // path (no per-event allocation).
+    sim.schedule_batch(started.into_iter().map(|(id, runtime)| {
         let st2 = Arc::clone(st);
-        sim.schedule_after(runtime, move |sim| {
+        let fire = move |sim: &mut Simulation| {
             let now = sim.now();
             st2.cluster
                 .lock()
@@ -176,8 +181,9 @@ fn schedule_and_register_completions(sim: &mut Simulation, st: &Arc<TraceState>)
                 .expect("running job finishes");
             *st2.completed.lock().unwrap() += 1;
             schedule_and_register_completions(sim, &st2);
-        });
-    }
+        };
+        (now + runtime, fire)
+    }));
 }
 
 fn arrival(sim: &mut Simulation, st: Arc<TraceState>) {
@@ -312,6 +318,27 @@ mod tests {
         assert_eq!(a.report.idle_nodes, b.report.idle_nodes);
         let c = simulate_trace(&profile, SimTime::from_hours(6), 8);
         assert_ne!(a.jobs_submitted, c.jobs_submitted);
+    }
+
+    #[test]
+    fn trace_replay_stays_on_the_inline_event_path() {
+        // Every closure the replay schedules — arrivals, the sampler, and
+        // batched completions — captures at most an `Arc` plus a job id, so
+        // the whole workload must hit the engine's inline payload cells; a
+        // capture growing past three words would silently reintroduce a
+        // heap allocation per event.
+        let profile = TraceProfile::small_test();
+        let mut sim = Simulation::new(11);
+        let out = simulate_trace_in(&mut sim, &profile, SimTime::from_hours(12));
+        assert!(out.jobs_completed > 0);
+        assert!(sim.events_scheduled_inline() > 0);
+        assert_eq!(
+            sim.inline_hit_ratio(),
+            1.0,
+            "trace replay closures must fit the inline capture budget \
+             ({} boxed)",
+            sim.events_scheduled_boxed()
+        );
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Foundation for the software-disaggregation reproduction: a virtual clock,
 //! an arena-allocated calendar event queue with deterministic tie-breaking
-//! (see [`queue`]), per-component seedable RNG streams, and online
+//! (see [`queue`]), zero-allocation inline closure storage on the event hot
+//! path (see [`cell`]), per-component seedable RNG streams, and online
 //! statistics (mean/variance/percentiles, histograms, time-weighted
 //! samplers).
 //!
@@ -25,12 +26,14 @@
 //! assert_eq!(sim.now(), SimTime::from_micros(15));
 //! ```
 
+pub mod cell;
 pub mod event;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use cell::EventCell;
 pub use event::{EventId, Simulation};
 pub use queue::CalendarQueue;
 pub use rng::RngStream;

@@ -229,6 +229,10 @@ trait Engine: Sized + 'static {
     type Id: Copy;
     fn now_ns(&self) -> u64;
     fn schedule(&mut self, at: SimTime, tag: u32, log: &OracleLog) -> Self::Id;
+    /// Schedule a burst of `(at, tag)` events through the engine's bulk path
+    /// (the calendar engine's `schedule_batch`; a plain loop on the
+    /// reference, which *defines* the required semantics).
+    fn schedule_burst(&mut self, items: &[(SimTime, u32)], log: &OracleLog) -> Vec<Self::Id>;
     fn cancel_id(&mut self, id: Self::Id) -> bool;
     fn pending(&self) -> usize;
     fn run_all(&mut self);
@@ -261,6 +265,13 @@ impl Engine for Simulation {
         let log = Arc::clone(log);
         self.schedule_at(at, move |sim| oracle_fire(sim, tag, &log))
     }
+    fn schedule_burst(&mut self, items: &[(SimTime, u32)], log: &OracleLog) -> Vec<des::EventId> {
+        self.schedule_batch(items.iter().map(|&(at, tag)| {
+            let log = Arc::clone(log);
+            (at, move |sim: &mut Simulation| burst_fire(sim, tag, &log))
+        }))
+        .to_vec()
+    }
     fn cancel_id(&mut self, id: des::EventId) -> bool {
         self.cancel(id)
     }
@@ -280,6 +291,16 @@ impl Engine for reference::RefSim {
     fn schedule(&mut self, at: SimTime, tag: u32, log: &OracleLog) -> u64 {
         let log = Arc::clone(log);
         self.schedule_at(at, move |sim| oracle_fire(sim, tag, &log))
+    }
+    fn schedule_burst(&mut self, items: &[(SimTime, u32)], log: &OracleLog) -> Vec<u64> {
+        // The burst *is* a schedule_at loop on the reference model.
+        items
+            .iter()
+            .map(|&(at, tag)| {
+                let log = Arc::clone(log);
+                self.schedule_at(at, move |sim| burst_fire(sim, tag, &log))
+            })
+            .collect()
     }
     fn cancel_id(&mut self, id: u64) -> bool {
         self.cancel(id)
@@ -350,6 +371,145 @@ fn calendar_queue_matches_reference_heap_model() {
             trace_cal[i], trace_ref[i]
         );
     }
+}
+
+/// Fire hook for the batch oracle: every fired event spawns a *burst* of
+/// children through the engine's bulk path — two at exactly the current
+/// virtual time (zero-delay ties landing behind the already-peeked cursor,
+/// the rebuild path) and one far-future (overflow-rung) descendant.
+fn burst_fire<E: Engine>(e: &mut E, tag: u32, log: &OracleLog) {
+    log.lock().unwrap().push((e.now_ns(), tag));
+    if tag < 100_000 && tag.is_multiple_of(7) {
+        let now = SimTime::from_nanos(e.now_ns());
+        e.schedule_burst(
+            &[
+                (now, tag + 100_000),
+                (now, tag + 300_000),
+                (now + SimTime::from_millis(40), tag + 200_000),
+            ],
+            log,
+        );
+    }
+}
+
+/// Drive one engine through the batch-heavy workload: bulk initial
+/// injection, bulk zero-delay self-reschedules, cancels against batch ids.
+fn burst_drive<E: Engine>(mut e: E, seed: u64) -> (Vec<(u64, u32)>, Vec<bool>, usize) {
+    let log: OracleLog = Arc::new(Mutex::new(Vec::new()));
+    let mut rng = RngStream::derive(seed, "burst-oracle");
+    // Inject in bursts of 64: dense ties plus a sparse tail per burst.
+    let mut ids = Vec::new();
+    for burst in 0..12u32 {
+        let items: Vec<(SimTime, u32)> = (0..64u32)
+            .map(|i| {
+                let t = if i.is_multiple_of(13) {
+                    SimTime::from_millis(1) + SimTime::from_secs(rng.u64_range(0..3))
+                } else {
+                    SimTime::from_nanos(rng.u64_range(0..400))
+                };
+                (t, burst * 64 + i)
+            })
+            .collect();
+        ids.extend(e.schedule_burst(&items, &log));
+    }
+    let mut cancels = Vec::new();
+    for (i, id) in ids.iter().enumerate() {
+        if i.is_multiple_of(4) {
+            cancels.push(e.cancel_id(*id));
+        }
+    }
+    let pending = e.pending();
+    e.run_all();
+    let trace = log.lock().unwrap().clone();
+    (trace, cancels, pending)
+}
+
+#[test]
+fn batch_scheduling_matches_reference_heap_model() {
+    // `schedule_batch` promises semantics identical to a `schedule_at` loop;
+    // the reference engine implements the burst as exactly that loop, so any
+    // divergence in ids, cancel outcomes, or trace order is a batch bug.
+    let (trace_cal, cancels_cal, pending_cal) = burst_drive(Simulation::new(0xBA7C), 0xBA7C);
+    let (trace_ref, cancels_ref, pending_ref) = burst_drive(reference::RefSim::new(), 0xBA7C);
+
+    assert_eq!(pending_cal, pending_ref);
+    assert_eq!(
+        cancels_cal, cancels_ref,
+        "batch ids must cancel identically"
+    );
+    assert_eq!(trace_cal, trace_ref, "batch trace must match the reference");
+}
+
+#[test]
+fn batch_push_behind_peeked_cursor_keeps_order() {
+    // run_until peeks at the far event, walking the queue cursor past the
+    // current time; a batch then lands entirely *behind* that cursor, at and
+    // after `now` — the one-rebuild path — and must still fire in
+    // (time, seq) order, zero-delay items first.
+    let mut sim = Simulation::new(1);
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let l = Arc::clone(&log);
+    sim.schedule_at(SimTime::from_secs(10), move |_| l.lock().unwrap().push(10));
+    sim.run_until(SimTime::from_secs(2));
+    assert_eq!(sim.now(), SimTime::from_secs(2));
+    let now = sim.now();
+    let items: Vec<(SimTime, u64)> = vec![
+        (now, 2), // exactly `now`: the zero-delay edge
+        (SimTime::from_secs(7), 7),
+        (now, 202), // second tie at `now`, later seq
+        (SimTime::from_secs(3), 3),
+    ];
+    sim.schedule_batch(items.into_iter().map(|(at, tag)| {
+        let l = Arc::clone(&log);
+        (at, move |_: &mut Simulation| l.lock().unwrap().push(tag))
+    }));
+    sim.run();
+    assert_eq!(*log.lock().unwrap(), vec![2, 202, 3, 7, 10]);
+    assert_eq!(sim.events_executed(), 5);
+}
+
+#[test]
+fn capture_size_boundary_does_not_change_the_trace() {
+    // Same workload scheduled twice: closures capturing exactly three words
+    // (an Arc + two u64s — the inline-cell layout) and closures one word
+    // over the budget (boxed fallback). Storage layout must be invisible:
+    // identical traces, and the hit-ratio counters prove each run actually
+    // took the path under test.
+    const N: u64 = 500;
+    let time = |i: u64| SimTime::from_nanos(i.wrapping_mul(2_654_435_761) % 4_000);
+
+    let mut inline_sim = Simulation::new(3);
+    let inline_log = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..N {
+        let log = Arc::clone(&inline_log);
+        let (a, b) = (i, i ^ 0x9e37);
+        inline_sim.schedule_at(time(i), move |sim| {
+            log.lock().unwrap().push((sim.now().as_nanos(), a ^ b));
+        });
+    }
+    inline_sim.run();
+    assert_eq!(inline_sim.events_scheduled_inline(), N);
+    assert_eq!(inline_sim.events_scheduled_boxed(), 0);
+    assert_eq!(inline_sim.inline_hit_ratio(), 1.0);
+
+    let mut boxed_sim = Simulation::new(3);
+    let boxed_log = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..N {
+        let log = Arc::clone(&boxed_log);
+        let (a, b, pad) = (i, i ^ 0x9e37, 0u64);
+        boxed_sim.schedule_at(time(i), move |sim| {
+            log.lock()
+                .unwrap()
+                .push((sim.now().as_nanos(), a ^ b ^ pad));
+        });
+    }
+    boxed_sim.run();
+    assert_eq!(boxed_sim.events_scheduled_inline(), 0);
+    assert_eq!(boxed_sim.events_scheduled_boxed(), N);
+    assert_eq!(boxed_sim.inline_hit_ratio(), 0.0);
+
+    assert_eq!(*inline_log.lock().unwrap(), *boxed_log.lock().unwrap());
+    assert_eq!(inline_sim.events_executed(), boxed_sim.events_executed());
 }
 
 #[test]

@@ -488,6 +488,32 @@ mod tests {
     }
 
     #[test]
+    fn slot_buffer_disjoint_writes_from_threads() {
+        // The SlotBuffer safety contract, reduced to its essentials so Miri
+        // can interpret it directly (the full sweep tests are too heavy):
+        // disjoint per-thread writes, join, then collect — every write must
+        // be visible and land in its own slot.
+        let buf = SlotBuffer::<usize>::new(16);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let buf = &buf;
+                scope.spawn(move || {
+                    for i in (t..16).step_by(4) {
+                        // SAFETY: each index is written by exactly one
+                        // thread (i ≡ t mod 4), and the scope join orders
+                        // all writes before into_vec below.
+                        unsafe { buf.put(i, i * 10) };
+                    }
+                });
+            }
+        });
+        let got = buf.into_vec();
+        for (i, v) in got.into_iter().enumerate() {
+            assert_eq!(v, Some(i * 10));
+        }
+    }
+
+    #[test]
     fn jobs_land_in_their_slots() {
         let runner = SweepRunner::new(3, vec![7, 8]);
         let grid = SweepGrid::new().axis("k", vec![10u64, 20, 30]);

@@ -73,15 +73,18 @@ pub mod test_runner {
         S: FnMut(&mut TestRng) -> A,
         F: FnMut(A) -> Result<(), TestCaseError>,
     {
+        // Like upstream proptest, a PROPTEST_CASES environment variable
+        // overrides the configured case count — CI's Miri job uses this to
+        // keep interpreted runs tractable without skipping the properties.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(config.cases);
         let mut rng = TestRng::deterministic(name);
-        for case in 0..config.cases {
+        for case in 0..cases {
             let args = sample(&mut rng);
             if let Err(e) = check(args) {
-                panic!(
-                    "property `{name}` failed at case {}/{}: {e}",
-                    case + 1,
-                    config.cases,
-                );
+                panic!("property `{name}` failed at case {}/{cases}: {e}", case + 1);
             }
         }
     }
