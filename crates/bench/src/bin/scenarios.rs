@@ -6,6 +6,7 @@
 //! scenarios run <name> | --all [--seeds N] [--threads K] [--json PATH]
 //!                              [--order cost|input] [--cost-table PATH]
 //!                              [--costs-out PATH]
+//!                              [--cache-dir PATH] [--no-cache] [--cache-stats]
 //!                              [--param k=v]... [--grid k=v1,v2,...]...
 //! ```
 //!
@@ -18,14 +19,24 @@
 //! given seed list regardless of `--threads`, `--order`, or the cost table.
 //! `--costs-out` persists the wall-clocks this run measured, closing the
 //! CI loop that makes the next run's ordering smarter.
+//!
+//! `--cache-dir` attaches the persistent memoization cache: jobs already
+//! stored under the current engine salt are served bit-exactly without
+//! simulating, so a repeated sweep over an unchanged tree is incremental.
+//! The artifact stays byte-identical cached or not; hit/miss/bytes/saved
+//! wall-clock land in a `<artifact>.cache.json` sidecar (printed too under
+//! `--cache-stats`). `--no-cache` wins over `--cache-dir`, so scripts can
+//! force a cold run without editing their cache configuration.
 
 use scenarios::report::fmt;
 use scenarios::{
-    CostTable, JobOrder, ParamValue, Params, Registry, Scenario, SweepGrid, SweepResult,
-    SweepRunner, SweepSuite,
+    CacheStats, CostTable, JobOrder, ParamValue, Params, Registry, ResultCache, Scenario,
+    SweepGrid, SweepResult, SweepRunner, SweepSuite,
 };
+use serde::Serialize;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "usage:
   scenarios list
@@ -33,6 +44,7 @@ const USAGE: &str = "usage:
   scenarios run <name> | --all [--seeds N] [--threads K] [--json PATH]
                                [--order cost|input] [--cost-table PATH]
                                [--costs-out PATH]
+                               [--cache-dir PATH] [--no-cache] [--cache-stats]
                                [--param k=v]... [--grid k=v1,v2,...]...";
 
 struct RunOptions {
@@ -44,8 +56,28 @@ struct RunOptions {
     order: JobOrder,
     cost_table: Option<PathBuf>,
     costs_out: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
+    no_cache: bool,
+    cache_stats: bool,
     overrides: Vec<(String, ParamValue)>,
     grid_axes: Vec<(String, Vec<ParamValue>)>,
+}
+
+/// The `<artifact>.cache.json` sidecar: memoization counters for one run.
+/// Kept out of the artifact itself so cached and uncached sweeps stay
+/// byte-identical (`cmp`-able) while CI still gates on the hit rate.
+#[derive(Serialize)]
+struct CacheSidecar {
+    cache_dir: String,
+    salt: String,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+    entries: u64,
+    stale_dropped: u64,
+    bytes_on_disk: u64,
+    saved_secs: f64,
+    wall_secs: f64,
 }
 
 fn default_threads() -> usize {
@@ -71,6 +103,9 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
         order: JobOrder::default(),
         cost_table: None,
         costs_out: None,
+        cache_dir: None,
+        no_cache: false,
+        cache_stats: false,
         overrides: Vec::new(),
         grid_axes: Vec::new(),
     };
@@ -97,6 +132,9 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
             "--order" => opts.order = JobOrder::parse(&value_of("--order")?)?,
             "--cost-table" => opts.cost_table = Some(PathBuf::from(value_of("--cost-table")?)),
             "--costs-out" => opts.costs_out = Some(PathBuf::from(value_of("--costs-out")?)),
+            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value_of("--cache-dir")?)),
+            "--no-cache" => opts.no_cache = true,
+            "--cache-stats" => opts.cache_stats = true,
             "--param" => {
                 let (k, v) = parse_kv(&value_of("--param")?, "--param")?;
                 opts.overrides.push((k, ParamValue::parse(&v)));
@@ -163,6 +201,21 @@ fn cmd_run(registry: &Registry, opts: RunOptions) -> Result<(), String> {
     };
     let mut runner =
         SweepRunner::new(opts.threads, SweepRunner::seeds(opts.seeds)).with_order(opts.order);
+    let cache_dir = match (&opts.cache_dir, opts.no_cache) {
+        (Some(dir), false) => Some(dir.clone()),
+        _ => None,
+    };
+    if let Some(dir) = &cache_dir {
+        let cache = ResultCache::open(dir)?;
+        println!(
+            "[cache] {} ({} stored result{}, salt {})",
+            dir.display(),
+            cache.len(),
+            if cache.len() == 1 { "" } else { "s" },
+            cache.salt()
+        );
+        runner = runner.with_cache(cache);
+    }
     if let Some(path) = &opts.cost_table {
         let table = CostTable::load(path)?;
         println!(
@@ -238,9 +291,11 @@ fn cmd_run(registry: &Registry, opts: RunOptions) -> Result<(), String> {
             JobOrder::Input => "input",
         }
     );
+    let sweep_started = Instant::now();
     let results = runner
         .try_run_suite(&tasks)
         .map_err(|e| format!("sweep failed: {e}"))?;
+    let wall_secs = sweep_started.elapsed().as_secs_f64();
     for result in &results {
         print_sweep(result);
     }
@@ -263,7 +318,63 @@ fn cmd_run(registry: &Registry, opts: RunOptions) -> Result<(), String> {
     let json = serde_json::to_string_pretty(&suite).map_err(|e| e.to_string())?;
     std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
     println!("\n[json] {}", path.display());
+
+    // Memoization counters go to a sidecar, never the artifact: cached and
+    // uncached sweeps must stay byte-identical. CI's incremental-sweep job
+    // gates on this file reporting a 100% hit rate for the warm pass.
+    if let (Some(dir), Some(stats)) = (&cache_dir, runner.cache_stats()) {
+        let sidecar = sidecar_for(dir, &stats, wall_secs);
+        let sidecar_path = path.with_extension("cache.json");
+        let json = serde_json::to_string_pretty(&sidecar).map_err(|e| e.to_string())?;
+        std::fs::write(&sidecar_path, json)
+            .map_err(|e| format!("writing {}: {e}", sidecar_path.display()))?;
+        println!("[cache] {}", sidecar_path.display());
+        if opts.cache_stats {
+            println!(
+                "[cache] {} hit{} / {} jobs ({:.1}%), {} miss{}, {} entr{} ({} bytes) on disk, \
+                 ~{:.2}s of simulation served from cache, sweep wall-clock {:.2}s",
+                stats.hits,
+                if stats.hits == 1 { "" } else { "s" },
+                stats.hits + stats.misses,
+                sidecar.hit_rate * 100.0,
+                stats.misses,
+                if stats.misses == 1 { "" } else { "es" },
+                stats.entries,
+                if stats.entries == 1 { "y" } else { "ies" },
+                stats.bytes_on_disk,
+                stats.saved_secs,
+                wall_secs,
+            );
+            if stats.stale_dropped > 0 {
+                println!(
+                    "[cache] {} stale entr{} (engine salt changed) garbage-collected",
+                    stats.stale_dropped,
+                    if stats.stale_dropped == 1 { "y" } else { "ies" },
+                );
+            }
+        }
+    }
     Ok(())
+}
+
+fn sidecar_for(dir: &std::path::Path, stats: &CacheStats, wall_secs: f64) -> CacheSidecar {
+    let total = stats.hits + stats.misses;
+    CacheSidecar {
+        cache_dir: dir.display().to_string(),
+        salt: scenarios::engine_salt(),
+        hits: stats.hits,
+        misses: stats.misses,
+        hit_rate: if total == 0 {
+            0.0
+        } else {
+            stats.hits as f64 / total as f64
+        },
+        entries: stats.entries,
+        stale_dropped: stats.stale_dropped,
+        bytes_on_disk: stats.bytes_on_disk,
+        saved_secs: stats.saved_secs,
+        wall_secs,
+    }
 }
 
 fn main() -> ExitCode {

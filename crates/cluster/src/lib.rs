@@ -8,6 +8,11 @@
 //! the paper's idle-CPU / free-memory / idle-period measurements; and a
 //! core-hour billing ledger used by the Fig. 10 utilization comparison.
 
+/// This crate's version, folded into the sweep result cache's engine salt:
+/// scheduler/trace semantics changes ship as version bumps, which must
+/// invalidate memoized simulation results.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
 pub mod billing;
 pub mod job;
 pub mod monitor;

@@ -20,6 +20,7 @@
 //! assert_eq!(result.points[0].per_seed.len(), 3);
 //! ```
 
+pub mod cache;
 pub mod cost;
 pub mod metrics;
 pub mod paper;
@@ -29,6 +30,7 @@ pub mod report;
 pub mod runner;
 pub mod scenarios;
 
+pub use cache::{engine_salt, job_key, CacheKey, CacheStats, CacheWriter, ResultCache};
 pub use cost::CostTable;
 pub use metrics::{summarize, MetricSummary, Metrics};
 pub use params::{ParamValue, Params, SweepGrid};

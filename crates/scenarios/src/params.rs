@@ -11,13 +11,33 @@ use std::fmt;
 
 /// One parameter value. Scenario tunables are scalars by design — grids stay
 /// declarative and JSON output stays flat.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum ParamValue {
     Bool(bool),
     U64(u64),
     F64(f64),
     Str(String),
 }
+
+/// Equality is **bit-exact** for floats (`to_bits`, not `==`): the sweep
+/// result cache hashes params by their bit patterns, and two `Params` that
+/// compare equal must always canonicalize — label, hash, cache key —
+/// identically. IEEE `==` would break that both ways: `0.0 == -0.0` but
+/// they format (and hash) differently, and `NaN != NaN` although they are
+/// the same stored value.
+impl PartialEq for ParamValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ParamValue::Bool(a), ParamValue::Bool(b)) => a == b,
+            (ParamValue::U64(a), ParamValue::U64(b)) => a == b,
+            (ParamValue::F64(a), ParamValue::F64(b)) => a.to_bits() == b.to_bits(),
+            (ParamValue::Str(a), ParamValue::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for ParamValue {}
 
 impl ParamValue {
     /// Parse a CLI-style literal: `true`/`false`, integer, float, else string.
@@ -93,7 +113,7 @@ impl From<String> for ParamValue {
 
 /// Ordered name → value map. Insertion order is preserved (it drives table
 /// and JSON field order); setting an existing name replaces in place.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Params {
     entries: Vec<(String, ParamValue)>,
 }
@@ -296,6 +316,42 @@ mod tests {
         assert_eq!(ParamValue::parse("12"), ParamValue::U64(12));
         assert_eq!(ParamValue::parse("1.5"), ParamValue::F64(1.5));
         assert_eq!(ParamValue::parse("abc"), ParamValue::Str("abc".into()));
+    }
+
+    #[test]
+    fn float_equality_is_bit_exact_so_equal_params_canonicalize_identically() {
+        // 0.0 and -0.0 are IEEE-equal but format (and hash) differently:
+        // they must NOT compare equal, or a cache keyed by bits would
+        // disagree with equality.
+        let zero = ParamValue::F64(0.0);
+        let neg_zero = ParamValue::F64(-0.0);
+        assert_ne!(zero, neg_zero);
+        assert_ne!(zero.to_string(), neg_zero.to_string(), "labels differ too");
+        // NaN is a perfectly reproducible stored value; bit equality makes
+        // it self-equal instead of poisoning comparisons.
+        let nan = ParamValue::F64(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        // One ULP apart: unequal values, unequal labels (Rust's shortest
+        // round-trip float formatting is injective on bit patterns).
+        let a = ParamValue::F64(0.1);
+        let b = ParamValue::F64(f64::from_bits(0.1f64.to_bits() + 1));
+        assert_ne!(a, b);
+        assert_ne!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    #[allow(clippy::excessive_precision)] // 17 significant digits is the point
+    fn seventeen_digit_float_labels_round_trip_bit_exactly() {
+        // A value needing the full 17 significant digits: its label must
+        // parse back to the identical bit pattern (`{}` prints the
+        // shortest uniquely round-tripping decimal).
+        let x = 0.123_456_789_012_345_678_f64;
+        let v = ParamValue::F64(x);
+        assert_eq!(ParamValue::parse(&v.to_string()), v);
+        let p = Params::new().with("x", x).with("y", -0.0);
+        let q = Params::new().with("x", x).with("y", -0.0);
+        assert_eq!(p, q);
+        assert_eq!(p.label(), q.label(), "equal params, identical labels");
     }
 
     #[test]

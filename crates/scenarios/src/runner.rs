@@ -21,7 +21,16 @@
 //! A job that panics no longer takes the sweep's bookkeeping down with it:
 //! the panic is caught per job and surfaced through [`SweepError`], naming
 //! the `(scenario, point, seed)` identity of every failed job.
+//!
+//! With a [`ResultCache`] attached ([`SweepRunner::with_cache`]) the same
+//! purity buys memoization: jobs whose content hash is already stored are
+//! served bit-exactly from the cache before anything reaches the injector
+//! — no pool traffic, no cost-table observation — and every miss is
+//! appended to its worker's write-ahead segment, merged into the
+//! persistent index when the sweep completes. The emitted artifact is
+//! byte-identical cached or not; only the wall-clock changes.
 
+use crate::cache::{self, CacheKey, CacheStats, CacheWriter, ResultCache};
 use crate::cost::CostTable;
 use crate::metrics::{summarize, MetricSummary, Metrics};
 use crate::params::{Params, SweepGrid};
@@ -168,8 +177,14 @@ pub struct SweepRunner {
     /// persisted timing artifact).
     costs: CostTable,
     /// Wall-clocks measured by this runner's own jobs, accumulated across
-    /// `run` calls — the next run's (or next CI round's) prior.
+    /// `run` calls — the next run's (or next CI round's) prior. Cache hits
+    /// never contribute: a hit costs microseconds, and folding it in would
+    /// drag the LPT prior for that point shape toward zero.
     observed: Mutex<CostTable>,
+    /// Memoized `(scenario, params, seed) → Metrics` store. Consulted
+    /// before jobs are injected — hits bypass the pool entirely — and fed
+    /// by workers' write-ahead segments on miss.
+    cache: Option<Mutex<ResultCache>>,
 }
 
 impl Clone for SweepRunner {
@@ -180,6 +195,10 @@ impl Clone for SweepRunner {
             order: self.order,
             costs: self.costs.clone(),
             observed: Mutex::new(self.observed.lock().unwrap().clone()),
+            cache: self
+                .cache
+                .as_ref()
+                .map(|c| Mutex::new(c.lock().unwrap().clone())),
         }
     }
 }
@@ -194,6 +213,7 @@ impl SweepRunner {
             order: JobOrder::default(),
             costs: CostTable::new(),
             observed: Mutex::new(CostTable::new()),
+            cache: None,
         }
     }
 
@@ -215,6 +235,19 @@ impl SweepRunner {
     pub fn with_cost_table(mut self, costs: CostTable) -> Self {
         self.costs = costs;
         self
+    }
+
+    /// Attach a persistent result cache: jobs whose `(scenario, params,
+    /// seed)` content hash is already stored are served bit-exactly from
+    /// it instead of simulated, and every miss is persisted on completion.
+    pub fn with_cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(Mutex::new(cache));
+        self
+    }
+
+    /// Hit/miss/saved-wall-clock counters of the attached cache, if any.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.lock().unwrap().stats())
     }
 
     pub fn thread_count(&self) -> usize {
@@ -280,6 +313,39 @@ impl SweepRunner {
             }
         }
         let n_jobs = jobs.len();
+        let slots: SlotBuffer<Metrics> = SlotBuffer::new(n_jobs);
+
+        // Memoization pre-scan: hits are written straight into their
+        // result slot and never reach the injector, the cost estimates, or
+        // the observed-cost table — only genuine misses become pool jobs.
+        let mut cache = self.cache.as_ref().map(|c| c.lock().unwrap());
+        let mut keys: Vec<Option<CacheKey>> = Vec::new();
+        if let Some(cache) = cache.as_deref_mut() {
+            keys.resize(n_jobs, None);
+            let mut misses = Vec::with_capacity(jobs.len());
+            for job in jobs {
+                let (scenario, _) = &tasks[job.task];
+                let params = &points[job.task][job.point];
+                let key = cache::job_key(
+                    cache.salt(),
+                    scenario.name(),
+                    params,
+                    self.seeds[job.seed_idx],
+                );
+                match cache.lookup(&key) {
+                    // SAFETY: the pre-scan runs on this thread before any
+                    // worker exists, each slot is visited at most once
+                    // here, and hit slots are never handed to the pool —
+                    // the write-once contract holds.
+                    Some(metrics) => unsafe { slots.put(job.slot, metrics) },
+                    None => {
+                        keys[job.slot] = Some(key);
+                        misses.push(job);
+                    }
+                }
+            }
+            jobs = misses;
+        }
 
         // Deadline-aware ordering: estimate each point once, then inject
         // longest-expected-first. Estimates steer only the start order —
@@ -306,14 +372,25 @@ impl SweepRunner {
             injector.push(*job);
         }
 
-        let threads = self.threads.min(n_jobs.max(1));
+        let threads = self.threads.min(jobs.len().max(1));
         let workers: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_fifo()).collect();
         let stealers: Vec<Stealer<Job>> = workers.iter().map(Worker::stealer).collect();
-        let slots: SlotBuffer<Metrics> = SlotBuffer::new(n_jobs);
         let failures: Mutex<Vec<JobFailure>> = Mutex::new(Vec::new());
         let timings: Mutex<CostTable> = Mutex::new(CostTable::new());
 
-        let run_worker = |local: Worker<Job>| {
+        // Misses persist through per-worker write-ahead segments: each
+        // worker owns one append-only file, so the lock-free hot path
+        // never serializes on the store. A cache I/O failure is a real
+        // error (a CI warm run silently degrading to 0% hits must not
+        // pass), hence the loud panic.
+        let writers: Option<Vec<CacheWriter>> = cache.as_deref().map(|c| {
+            (0..threads)
+                .map(|_| c.writer())
+                .collect::<Result<Vec<_>, String>>()
+                .unwrap_or_else(|e| panic!("sweep cache: {e}"))
+        });
+
+        let run_worker = |widx: usize, local: Worker<Job>| {
             let mut observed = CostTable::new();
             // The canonical crossbeam find-task loop: local deque first,
             // then a batch from the injector, then steal from siblings;
@@ -344,10 +421,14 @@ impl SweepRunner {
                 }));
                 match outcome {
                     Ok(metrics) => {
-                        observed.record(
-                            &CostTable::key(scenario.name(), params),
-                            started.elapsed().as_secs_f64(),
-                        );
+                        let elapsed = started.elapsed().as_secs_f64();
+                        observed.record(&CostTable::key(scenario.name(), params), elapsed);
+                        if let Some(writers) = &writers {
+                            let key = keys[job.slot].expect("every pool job missed the cache");
+                            writers[widx]
+                                .append(&key, scenario.name(), elapsed, &metrics)
+                                .unwrap_or_else(|e| panic!("sweep cache: {e}"));
+                        }
                         // SAFETY: `job.slot` is unique per job and the deque
                         // delivered this job to exactly this worker; the
                         // scope join below sequences the write before
@@ -367,12 +448,12 @@ impl SweepRunner {
 
         let mut workers = workers.into_iter();
         if threads <= 1 {
-            run_worker(workers.next().expect("one worker"));
+            run_worker(0, workers.next().expect("one worker"));
         } else {
             let run_worker = &run_worker;
             std::thread::scope(|scope| {
-                for local in workers {
-                    scope.spawn(move || run_worker(local));
+                for (widx, local) in workers.enumerate() {
+                    scope.spawn(move || run_worker(widx, local));
                 }
             });
         }
@@ -385,10 +466,22 @@ impl SweepRunner {
         let mut failures = failures.into_inner().unwrap();
         if !failures.is_empty() {
             // Deterministic report order however the pool interleaved.
+            // The cache commit is skipped: the workers' write-ahead
+            // segments stay on disk and are recovered at the next open, so
+            // the surviving jobs' results aren't lost either.
             failures.sort_by(|a, b| {
                 (&a.scenario, &a.point, a.seed).cmp(&(&b.scenario, &b.point, b.seed))
             });
             return Err(SweepError { failures });
+        }
+
+        // Sweep completion: fsync the per-worker segments and merge them
+        // into the cache index, garbage-collecting stale-salt entries.
+        if let Some(cache) = cache.as_deref_mut() {
+            let writers = writers.expect("an attached cache always has writers");
+            cache
+                .commit(writers)
+                .unwrap_or_else(|e| panic!("sweep cache: {e}"));
         }
 
         // Collect slot-major: task, point, seed — the injection order never
