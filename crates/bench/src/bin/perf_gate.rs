@@ -1,19 +1,23 @@
-//! `perf_gate` — CI throughput-regression gate for the DES event loop.
+//! `perf_gate` — CI throughput-regression gate for the bench suite.
 //!
 //! ```text
 //! perf_gate check --baseline ci/perf_baseline.json \
 //!                 --current target/figures/BENCH_event_loop.json \
+//!                 --current target/figures/BENCH_cluster_sched.json \
 //!                 [--max-regression 0.20] [--sweep-seconds N] [--report PATH]
 //! perf_gate update-baseline --baseline ci/perf_baseline.json \
-//!                 --current target/figures/BENCH_event_loop.json [--dry-run]
+//!                 --current BENCH_a.json [--current BENCH_b.json] [--dry-run]
 //! ```
 //!
 //! `check` compares every metric of the committed baseline against the
-//! freshly measured numbers (both flat `"name": ops_per_sec` JSON objects,
-//! written by `cargo bench -p des`) and exits non-zero if any throughput
-//! regresses by more than `--max-regression` (default 20%). The optional
-//! `--report` JSON records baseline/current/ratio per metric plus the timed
-//! sweep wall-clock, so CI artifacts accumulate a perf trajectory.
+//! freshly measured numbers (all flat `"name": ops_per_sec` JSON objects —
+//! `cargo bench -p des` writes the event-loop one, `cargo bench -p cluster
+//! --features oracle` the scheduler one). `--current` may repeat: the files
+//! are concatenated into one metric namespace, so a single baseline gates
+//! every bench. Exits non-zero if any throughput regresses by more than
+//! `--max-regression` (default 20%). The optional `--report` JSON records
+//! baseline/current/ratio per metric plus the timed sweep wall-clock, so CI
+//! artifacts accumulate a perf trajectory.
 //!
 //! Baselines are machine-dependent: refresh with `update-baseline` when the
 //! reference hardware changes, and keep the committed numbers conservative.
@@ -57,16 +61,33 @@ fn parse_flat_json(path: &PathBuf) -> Result<Vec<(String, f64)>, String> {
 
 struct Args {
     baseline: PathBuf,
-    current: PathBuf,
+    currents: Vec<PathBuf>,
     max_regression: f64,
     sweep_seconds: Option<f64>,
     report: Option<PathBuf>,
     dry_run: bool,
 }
 
+/// Concatenate the metrics of every `--current` file into one namespace;
+/// duplicate keys across files are a wiring error, not a tolerable merge.
+fn parse_currents(paths: &[PathBuf]) -> Result<Vec<(String, f64)>, String> {
+    let mut all: Vec<(String, f64)> = Vec::new();
+    for path in paths {
+        for (key, value) in parse_flat_json(path)? {
+            if all.iter().any(|(k, _)| *k == key) {
+                return Err(format!(
+                    "{path:?}: metric `{key}` appears in two --current files"
+                ));
+            }
+            all.push((key, value));
+        }
+    }
+    Ok(all)
+}
+
 fn parse_args(rest: &[String]) -> Result<Args, String> {
     let mut baseline = None;
-    let mut current = None;
+    let mut currents = Vec::new();
     let mut max_regression = 0.20;
     let mut sweep_seconds = None;
     let mut report = None;
@@ -80,7 +101,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
         };
         match arg.as_str() {
             "--baseline" => baseline = Some(PathBuf::from(value("--baseline")?)),
-            "--current" => current = Some(PathBuf::from(value("--current")?)),
+            "--current" => currents.push(PathBuf::from(value("--current")?)),
             "--max-regression" => {
                 max_regression = value("--max-regression")?
                     .parse()
@@ -98,9 +119,12 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
+    if currents.is_empty() {
+        return Err("--current is required (may repeat)".to_string());
+    }
     Ok(Args {
         baseline: baseline.ok_or("--baseline is required")?,
-        current: current.ok_or("--current is required")?,
+        currents,
         max_regression,
         sweep_seconds,
         report,
@@ -110,7 +134,7 @@ fn parse_args(rest: &[String]) -> Result<Args, String> {
 
 fn cmd_check(args: Args) -> Result<bool, String> {
     let baseline = parse_flat_json(&args.baseline)?;
-    let current = parse_flat_json(&args.current)?;
+    let current = parse_currents(&args.currents)?;
     let mut pass = true;
     let mut report_rows = String::new();
     println!(
@@ -162,8 +186,8 @@ fn cmd_check(args: Args) -> Result<bool, String> {
 }
 
 fn cmd_update_baseline(args: Args) -> Result<(), String> {
-    // Validate before copying so a broken bench run can't poison the gate.
-    let current = parse_flat_json(&args.current)?;
+    // Validate before writing so a broken bench run can't poison the gate.
+    let current = parse_currents(&args.currents)?;
     // Diff against the existing baseline (if any) so the refresh — or the
     // --dry-run preview of it — shows exactly what would change. CI prints
     // this table on every run, making the old → new trajectory greppable.
@@ -172,11 +196,13 @@ fn cmd_update_baseline(args: Args) -> Result<(), String> {
     } else {
         Vec::new()
     };
-    println!(
-        "baseline diff ({} -> {}):",
-        args.baseline.display(),
-        args.current.display()
-    );
+    let sources = args
+        .currents
+        .iter()
+        .map(|p| p.display().to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("baseline diff ({} -> {sources}):", args.baseline.display());
     for (key, cur) in &current {
         match old.iter().find(|(k, _)| k == key) {
             Some((_, base)) => println!(
@@ -195,12 +221,19 @@ fn cmd_update_baseline(args: Args) -> Result<(), String> {
         println!("dry run: baseline left untouched");
         return Ok(());
     }
-    std::fs::copy(&args.current, &args.baseline)
-        .map_err(|e| format!("copying {:?} -> {:?}: {e}", args.current, args.baseline))?;
+    // Write the merged namespace rather than copying one input: with several
+    // `--current` files the baseline is their concatenation.
+    let mut json = String::from("{\n");
+    for (i, (key, value)) in current.iter().enumerate() {
+        let sep = if i + 1 < current.len() { "," } else { "" };
+        json.push_str(&format!("  \"{key}\": {value:.0}{sep}\n"));
+    }
+    json.push_str("}\n");
+    std::fs::write(&args.baseline, json)
+        .map_err(|e| format!("writing {:?}: {e}", args.baseline))?;
     println!(
-        "baseline {} refreshed from {}",
-        args.baseline.display(),
-        args.current.display()
+        "baseline {} refreshed from {sources}",
+        args.baseline.display()
     );
     Ok(())
 }
@@ -220,7 +253,8 @@ fn main() -> ExitCode {
         }
         _ => Err(
             "usage: perf_gate <check|update-baseline> --baseline PATH --current PATH \
-                  [--max-regression F] [--sweep-seconds N] [--report PATH] [--dry-run]"
+                  [--current PATH ...] [--max-regression F] [--sweep-seconds N] \
+                  [--report PATH] [--dry-run]"
                 .to_string(),
         ),
     };

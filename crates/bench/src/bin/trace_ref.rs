@@ -1,0 +1,27 @@
+//! `trace_ref` — canonical trace-replay artifact for scheduler-equivalence
+//! checks.
+//!
+//! ```text
+//! trace_ref [OUTPUT_PATH]          # default target/figures/TRACE_ref.json
+//! ```
+//!
+//! Replays a fixed set of `(profile, horizon, seed)` combinations through
+//! the `cluster` scheduler and serializes every `TraceOutcome` — monitor
+//! series included — as pretty-printed JSON (see
+//! [`bench::trace_reference_json`] for the workload list). The committed
+//! `ci/trace_reference.json` was produced by the pre-index scan scheduler;
+//! CI's `determinism` job re-runs this binary and `cmp`s the output against
+//! that reference, so any scheduler change that is not bit-identical to the
+//! original scan implementation fails loudly.
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/figures/TRACE_ref.json".to_string());
+    let json = bench::trace_reference_json();
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(&path, &json).expect("write artifact");
+    println!("[json] {path}");
+}

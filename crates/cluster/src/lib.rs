@@ -14,11 +14,20 @@
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 pub mod billing;
+pub(crate) mod index;
 pub mod job;
 pub mod monitor;
 pub mod node;
+/// The pre-index scan scheduler, kept verbatim as a correctness oracle for
+/// property tests and a like-for-like baseline for the `cluster_sched`
+/// bench (`--features oracle`).
+#[cfg(any(test, feature = "oracle"))]
+pub mod reference;
 pub mod scheduler;
 pub mod trace;
+
+#[cfg(test)]
+mod oracle_tests;
 
 pub use billing::{BillingLedger, BillingPolicy};
 pub use fabric::NodeId;

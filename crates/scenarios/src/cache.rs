@@ -47,12 +47,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// change without a crate version bump (e.g. a scheduler tie-break fix
 /// within one release). Folded into [`engine_salt`], so a bump invalidates
 /// every cached entry.
+///
+/// The converse rule matters just as much: a change that is *proven*
+/// bit-identical — a pure performance refactor whose outputs match the old
+/// implementation byte-for-byte — must **not** bump this (or any crate
+/// version), precisely so the cache keeps serving entries written before
+/// the change. The salt keys what a simulation *computes*, not how fast.
+/// The proof obligations are the repo's standing ones: an oracle test
+/// against the old implementation and an unchanged `ci/trace_reference.json`
+/// (see the PR-9 indexed scheduler, which left this at 1; the
+/// `warm_cache_survives_bit_identical_engine_changes` test pins the
+/// resulting salt string so an accidental bump fails loudly).
 pub const ENGINE_SALT_REV: u32 = 1;
 
 /// The engine-version salt folded into every [`job_key`]: the versions of
 /// the crates whose code decides what a simulation computes (`des`,
 /// `cluster`, `scenarios`) plus [`ENGINE_SALT_REV`]. Any release that can
-/// change simulation semantics changes the salt and therefore every key.
+/// change simulation semantics changes the salt and therefore every key —
+/// and a release that provably cannot (bit-identical internal refactors)
+/// must leave it untouched so warm caches survive the upgrade.
 pub fn engine_salt() -> String {
     format!(
         "des={}|cluster={}|scenarios={}|rev={}",

@@ -183,6 +183,41 @@ fn salt_bump_invalidates_every_entry_and_garbage_collects() {
 }
 
 #[test]
+fn warm_cache_survives_bit_identical_engine_changes() {
+    // The inverse contract of the salt-bump tests: an internal refactor
+    // that provably keeps simulation outputs bit-identical (PR 9's indexed
+    // scheduler: oracle property tests + an unchanged ci/trace_reference
+    // artifact) ships with NO salt change, and caches populated before the
+    // change keep hitting after it. The literal string below is the salt as
+    // it stood before the scheduler was indexed; if engine_salt() drifts
+    // from it, either a version/rev was bumped for a bit-identical change
+    // (revert the bump) or semantics actually changed (then this test and
+    // ci/trace_reference.json must be updated together, deliberately).
+    let pre_change_salt = "des=0.1.0|cluster=0.1.0|scenarios=0.1.0|rev=1";
+    assert_eq!(
+        engine_salt(),
+        pre_change_salt,
+        "engine salt changed — bit-identical refactors must leave it alone"
+    );
+
+    let dir = cache_dir("warmsurvives");
+    let seeds = vec![21, 22];
+    // Populate the store under the pinned pre-change salt...
+    let old = SweepRunner::new(2, seeds.clone())
+        .with_cache(ResultCache::open_with_salt(&dir, pre_change_salt).expect("open pinned"));
+    old.run(&Probe, &grid());
+    assert_eq!(old.cache_stats().expect("stats").entries, 6);
+
+    // ...and re-sweep under the wired engine_salt(): every entry must hit.
+    let new = SweepRunner::new(2, seeds).with_cache(ResultCache::open(&dir).expect("open current"));
+    new.run(&Probe, &grid());
+    let stats = new.cache_stats().expect("stats");
+    assert_eq!(stats.hits, 6, "pre-change entries must survive the upgrade");
+    assert_eq!(stats.misses, 0);
+    assert_eq!(stats.stale_dropped, 0, "nothing may be treated as stale");
+}
+
+#[test]
 fn engine_salt_bump_misses_against_a_real_version_salt() {
     // The wired salt: a cache populated under engine_salt() full-misses
     // once the salt gains a suffix — exactly what a des/cluster/scenarios
