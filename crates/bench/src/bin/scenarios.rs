@@ -1,4 +1,5 @@
-//! `scenarios` — the unified scenario CLI.
+//! `scenarios` — the unified scenario CLI, now a thin front over the
+//! what-if sweep service.
 //!
 //! ```text
 //! scenarios list
@@ -8,17 +9,21 @@
 //!                              [--costs-out PATH]
 //!                              [--cache-dir PATH] [--no-cache] [--cache-stats]
 //!                              [--param k=v]... [--grid k=v1,v2,...]...
+//! scenarios serve [--addr HOST:PORT] [--threads K] [--cache-dir PATH]
+//!                 [--cost-table PATH]
+//! scenarios submit <name>... [--addr HOST:PORT] [run flags] [--wait]
+//! scenarios status [--addr HOST:PORT] [<id>]
+//! scenarios cancel [--addr HOST:PORT] <id>
+//! scenarios shutdown [--addr HOST:PORT]
 //! ```
 //!
-//! `run` feeds every `(scenario, grid point, seed)` job of every selected
-//! scenario into one work-stealing pool (longest-expected-first by the
-//! `--cost-table` wall-clock priors, falling back to a parameter-size
-//! heuristic) and prints mean/p50/p99 (±95% CI) aggregates per scenario; the
-//! full per-seed metrics go to a JSON artifact (default
-//! `target/figures/BENCH_scenarios.json`). Results are bit-identical for a
-//! given seed list regardless of `--threads`, `--order`, or the cost table.
-//! `--costs-out` persists the wall-clocks this run measured, closing the
-//! CI loop that makes the next run's ordering smarter.
+//! `run` builds a versioned [`SweepRequest`] from its flags and pushes it
+//! through an in-process [`Service`] — submit, wait, render — the *same*
+//! code path a long-running `serve` instance executes for remote clients,
+//! so a sweep gives byte-identical artifacts whether it ran via `run`,
+//! or via `submit --wait` against a server, or was answered straight from
+//! the memoization cache. `serve` binds the TCP front; `submit`/`status`/
+//! `cancel` are its wire clients.
 //!
 //! `--cache-dir` attaches the persistent memoization cache: jobs already
 //! stored under the current engine salt are served bit-exactly without
@@ -29,9 +34,11 @@
 //! force a cold run without editing their cache configuration.
 
 use scenarios::report::fmt;
+use scenarios::service::{Service, ServiceConfig};
+use scenarios::wire::Client;
 use scenarios::{
-    CacheStats, CostTable, JobOrder, ParamValue, Params, Registry, ResultCache, Scenario,
-    SweepGrid, SweepResult, SweepRunner, SweepSuite,
+    CacheStats, CostTable, Error, JobOrder, ParamValue, Registry, Server, SweepRequest,
+    SweepResponse, SweepResult, SweepStatus,
 };
 use serde::Serialize;
 use std::path::PathBuf;
@@ -45,22 +52,62 @@ const USAGE: &str = "usage:
                                [--order cost|input] [--cost-table PATH]
                                [--costs-out PATH]
                                [--cache-dir PATH] [--no-cache] [--cache-stats]
-                               [--param k=v]... [--grid k=v1,v2,...]...";
+                               [--param k=v]... [--grid k=v1,v2,...]...
+  scenarios serve [--addr HOST:PORT] [--threads K] [--cache-dir PATH]
+                  [--cost-table PATH]
+  scenarios submit <name>... [--addr HOST:PORT] [--seeds N] [--json PATH]
+                             [--order cost|input] [--param k=v]...
+                             [--grid k=v1,v2,...]... [--wait]
+  scenarios status [--addr HOST:PORT] [<id>]
+  scenarios cancel [--addr HOST:PORT] <id>
+  scenarios shutdown [--addr HOST:PORT]";
 
-struct RunOptions {
-    targets: Vec<String>,
-    all: bool,
-    seeds: usize,
+/// Where `submit`/`status`/`cancel` look for a server, and where `serve`
+/// binds, unless `--addr` overrides.
+const DEFAULT_ADDR: &str = "127.0.0.1:7411";
+
+/// CLI failures: either a usage problem (flag parsing, bad invocation) or
+/// a structured library error — the one `scenarios::Error` surface the
+/// service, cache, and wire all report through.
+enum CliError {
+    Usage(String),
+    Lib(Error),
+}
+
+impl From<Error> for CliError {
+    fn from(e: Error) -> CliError {
+        CliError::Lib(e)
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Usage(msg)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Lib(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Everything `run`/`submit` parse: the portable request plus local-only
+/// execution knobs (threads/cache/artifact paths never cross the wire).
+struct SweepInvocation {
+    request: SweepRequest,
     threads: usize,
     json: Option<PathBuf>,
-    order: JobOrder,
     cost_table: Option<PathBuf>,
     costs_out: Option<PathBuf>,
     cache_dir: Option<PathBuf>,
     no_cache: bool,
     cache_stats: bool,
-    overrides: Vec<(String, ParamValue)>,
-    grid_axes: Vec<(String, Vec<ParamValue>)>,
+    addr: String,
+    wait: bool,
 }
 
 /// The `<artifact>.cache.json` sidecar: memoization counters for one run.
@@ -93,21 +140,18 @@ fn parse_kv(arg: &str, flag: &str) -> Result<(String, String), String> {
         .ok_or_else(|| format!("{flag} expects key=value, got `{arg}`"))
 }
 
-fn parse_run(args: &[String]) -> Result<RunOptions, String> {
-    let mut opts = RunOptions {
-        targets: Vec::new(),
-        all: false,
-        seeds: 3,
+fn parse_sweep(args: &[String]) -> Result<SweepInvocation, String> {
+    let mut inv = SweepInvocation {
+        request: SweepRequest::new(),
         threads: default_threads(),
         json: None,
-        order: JobOrder::default(),
         cost_table: None,
         costs_out: None,
         cache_dir: None,
         no_cache: false,
         cache_stats: false,
-        overrides: Vec::new(),
-        grid_axes: Vec::new(),
+        addr: DEFAULT_ADDR.to_string(),
+        wait: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -117,53 +161,49 @@ fn parse_run(args: &[String]) -> Result<RunOptions, String> {
                 .ok_or_else(|| format!("{flag} expects a value"))
         };
         match arg.as_str() {
-            "--all" => opts.all = true,
+            "--all" => inv.request = inv.request.clone().every_scenario(),
             "--seeds" => {
-                opts.seeds = value_of("--seeds")?
+                let seeds: usize = value_of("--seeds")?
                     .parse()
                     .map_err(|_| "--seeds expects a positive integer".to_string())?;
+                inv.request = inv.request.clone().with_seeds(seeds);
             }
             "--threads" => {
-                opts.threads = value_of("--threads")?
+                inv.threads = value_of("--threads")?
                     .parse()
                     .map_err(|_| "--threads expects a positive integer".to_string())?;
             }
-            "--json" => opts.json = Some(PathBuf::from(value_of("--json")?)),
-            "--order" => opts.order = JobOrder::parse(&value_of("--order")?)?,
-            "--cost-table" => opts.cost_table = Some(PathBuf::from(value_of("--cost-table")?)),
-            "--costs-out" => opts.costs_out = Some(PathBuf::from(value_of("--costs-out")?)),
-            "--cache-dir" => opts.cache_dir = Some(PathBuf::from(value_of("--cache-dir")?)),
-            "--no-cache" => opts.no_cache = true,
-            "--cache-stats" => opts.cache_stats = true,
+            "--json" => inv.json = Some(PathBuf::from(value_of("--json")?)),
+            "--order" => {
+                inv.request = inv
+                    .request
+                    .clone()
+                    .with_order(JobOrder::parse(&value_of("--order")?)?);
+            }
+            "--cost-table" => inv.cost_table = Some(PathBuf::from(value_of("--cost-table")?)),
+            "--costs-out" => inv.costs_out = Some(PathBuf::from(value_of("--costs-out")?)),
+            "--cache-dir" => inv.cache_dir = Some(PathBuf::from(value_of("--cache-dir")?)),
+            "--no-cache" => inv.no_cache = true,
+            "--cache-stats" => inv.cache_stats = true,
+            "--addr" => inv.addr = value_of("--addr")?,
+            "--wait" => inv.wait = true,
             "--param" => {
                 let (k, v) = parse_kv(&value_of("--param")?, "--param")?;
-                opts.overrides.push((k, ParamValue::parse(&v)));
+                inv.request = inv.request.clone().param(&k, ParamValue::parse(&v));
             }
             "--grid" => {
                 let (k, vs) = parse_kv(&value_of("--grid")?, "--grid")?;
                 let values: Vec<ParamValue> = vs.split(',').map(ParamValue::parse).collect();
-                opts.grid_axes.push((k, values));
+                inv.request = inv.request.clone().axis(&k, values);
             }
             other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
-            name => opts.targets.push(name.to_string()),
+            name => inv.request = inv.request.clone().scenario(name),
         }
     }
-    if opts.targets.is_empty() && !opts.all {
+    if inv.request.scenarios.is_empty() && !inv.request.all {
         return Err("pick a scenario name or --all".to_string());
     }
-    if opts.seeds == 0 {
-        return Err("--seeds must be at least 1".to_string());
-    }
-    if let Some((k, _)) = opts
-        .overrides
-        .iter()
-        .find(|(k, _)| opts.grid_axes.iter().any(|(g, _)| g == k))
-    {
-        return Err(format!(
-            "`{k}` is both a --grid axis and a --param override; pick one"
-        ));
-    }
-    Ok(opts)
+    Ok(inv)
 }
 
 fn print_sweep(result: &SweepResult) {
@@ -193,168 +233,145 @@ fn print_sweep(result: &SweepResult) {
     }
 }
 
-fn cmd_run(registry: &Registry, opts: RunOptions) -> Result<(), String> {
-    let names: Vec<String> = if opts.all {
-        registry.names().iter().map(|n| n.to_string()).collect()
-    } else {
-        opts.targets.clone()
-    };
-    let mut runner =
-        SweepRunner::new(opts.threads, SweepRunner::seeds(opts.seeds)).with_order(opts.order);
-    let cache_dir = match (&opts.cache_dir, opts.no_cache) {
-        (Some(dir), false) => Some(dir.clone()),
-        _ => None,
-    };
-    if let Some(dir) = &cache_dir {
-        let cache = ResultCache::open(dir)?;
-        println!(
-            "[cache] {} ({} stored result{}, salt {})",
-            dir.display(),
-            cache.len(),
-            if cache.len() == 1 { "" } else { "s" },
-            cache.salt()
-        );
-        runner = runner.with_cache(cache);
+fn print_response(response: &SweepResponse) {
+    println!("request {:>4}  {}", response.id, response.status);
+}
+
+fn default_artifact_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures/BENCH_scenarios.json")
+}
+
+fn write_artifact(path: &PathBuf, artifact: &str) -> Result<(), CliError> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Usage(format!("creating {}: {e}", dir.display())))?;
     }
-    if let Some(path) = &opts.cost_table {
+    std::fs::write(path, artifact)
+        .map_err(|e| CliError::Usage(format!("writing {}: {e}", path.display())))?;
+    Ok(())
+}
+
+/// Boot a local service configured by the invocation's flags — the exact
+/// provisioning `serve` does, minus the TCP listener.
+fn local_service(registry: Registry, inv: &SweepInvocation) -> Result<Service, CliError> {
+    let mut config = ServiceConfig::new().with_threads(inv.threads);
+    if let (Some(dir), false) = (&inv.cache_dir, inv.no_cache) {
+        config = config.with_cache_dir(dir);
+    }
+    if let Some(path) = &inv.cost_table {
         let table = CostTable::load(path)?;
         println!(
             "[scenarios] cost table {} ({} point shapes) orders the pool",
             path.display(),
             table.len()
         );
-        runner = runner.with_cost_table(table);
+        config = config.with_cost_table(table);
     }
-    let mut grid = SweepGrid::new();
-    for (name, values) in &opts.grid_axes {
-        grid = grid.axis(name, values.clone());
+    let service = Service::start(registry, config)?;
+    if let (Some(dir), Some(stats)) = (&inv.cache_dir, service.cache_stats()) {
+        println!(
+            "[cache] {} ({} stored result{}, salt {})",
+            dir.display(),
+            stats.entries,
+            if stats.entries == 1 { "" } else { "s" },
+            scenarios::engine_salt()
+        );
     }
+    Ok(service)
+}
 
-    // Validate every target's grid first, then run them all through ONE
-    // work-stealing pool: short scenarios pack around long ones instead of
-    // queueing behind a per-scenario barrier.
-    let mut tasks: Vec<(&dyn Scenario, SweepGrid)> = Vec::new();
-    for name in &names {
-        let scenario = registry
-            .get(name)
-            .ok_or_else(|| format!("unknown scenario `{name}` (try `scenarios list`)"))?;
-        // Apply --param overrides through a one-point grid on top of the
-        // scenario defaults, so they show up in the emitted params too.
-        let mut scenario_grid = grid.clone();
-        for (k, v) in &opts.overrides {
-            scenario_grid = scenario_grid.axis(k, vec![v.clone()]);
-        }
-        // A key that isn't one of the scenario's tunables would sweep
-        // nothing while multiplying the job count; refuse it for a single
-        // target, skip it (loudly) per-scenario under --all.
-        let defaults = scenario.default_params();
-        let dropped = scenario_grid.retain_axes(|k| defaults.get(k).is_some());
-        if !dropped.is_empty() {
-            let known = defaults
-                .iter()
-                .map(|(k, _)| k.to_string())
-                .collect::<Vec<_>>()
-                .join(", ");
-            let known = if known.is_empty() {
-                "none".to_string()
-            } else {
-                known
-            };
-            if opts.all {
-                println!(
-                    "[scenarios] {name}: ignoring non-tunable key(s) {} (tunables: {known})",
-                    dropped.join(", ")
-                );
-            } else {
-                return Err(format!(
-                    "`{}` is not a tunable of {name} (tunables: {known})",
-                    dropped.join(", ")
-                ));
-            }
-        }
+/// `run` — submit + wait against an in-process service: the same request
+/// vocabulary, submission path, cache, and artifact bytes as the server.
+fn cmd_run(registry: Registry, inv: SweepInvocation) -> Result<(), CliError> {
+    let service = local_service(registry, &inv)?;
+
+    // Validate up front (the service will again, cheaply) so the per-task
+    // job counts print before any work starts, like the CLI always has.
+    let validated = inv.request.validate(service.registry())?;
+    for warning in &validated.warnings {
+        println!("[scenarios] {warning}");
+    }
+    for (name, grid) in &validated.tasks {
         println!(
             "[scenarios] queueing {name} ({} jobs)",
-            scenario_grid.points(&Params::new()).len() * opts.seeds,
+            grid.points(&scenarios::Params::new()).len() * validated.seeds.len(),
         );
-        tasks.push((scenario, scenario_grid));
     }
-
-    let total_jobs: usize = tasks
-        .iter()
-        .map(|(s, g)| g.points(&s.default_params()).len() * opts.seeds)
-        .sum();
     println!(
-        "[scenarios] running {total_jobs} jobs on {} work-stealing threads ({} order)",
-        runner.thread_count(),
-        match opts.order {
+        "[scenarios] running {} jobs on {} work-stealing threads ({} order)",
+        validated.total_jobs,
+        service.thread_count(),
+        match validated.order {
             JobOrder::Cost => "longest-expected-first",
             JobOrder::Input => "input",
         }
     );
+
     let sweep_started = Instant::now();
-    let results = runner
-        .try_run_suite(&tasks)
-        .map_err(|e| format!("sweep failed: {e}"))?;
+    let submission = service.submit(&inv.request)?;
+    let response = service.wait(submission.id)?;
     let wall_secs = sweep_started.elapsed().as_secs_f64();
+    // `results` doubles as the terminal-state gate: failed or cancelled
+    // requests surface their structured error here.
+    let results = service.results(submission.id)?;
     for result in &results {
         print_sweep(result);
     }
 
-    if let Some(path) = &opts.costs_out {
-        runner.observed_costs().save(path)?;
+    if let Some(path) = &inv.costs_out {
+        service.observed_costs().save(path)?;
         println!("[costs] {}", path.display());
     }
 
-    let suite = SweepSuite {
-        seeds: SweepRunner::seeds(opts.seeds),
-        results,
-    };
-    let path = opts.json.unwrap_or_else(|| {
-        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures/BENCH_scenarios.json")
-    });
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-    }
-    let json = serde_json::to_string_pretty(&suite).map_err(|e| e.to_string())?;
-    std::fs::write(&path, json).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    let artifact = response
+        .artifact
+        .expect("done responses carry the artifact");
+    let path = inv.json.clone().unwrap_or_else(default_artifact_path);
+    write_artifact(&path, &artifact)?;
     println!("\n[json] {}", path.display());
 
     // Memoization counters go to a sidecar, never the artifact: cached and
     // uncached sweeps must stay byte-identical. CI's incremental-sweep job
     // gates on this file reporting a 100% hit rate for the warm pass.
-    if let (Some(dir), Some(stats)) = (&cache_dir, runner.cache_stats()) {
+    let effective_cache = (!inv.no_cache).then_some(()).and(inv.cache_dir.as_ref());
+    if let (Some(dir), Some(stats)) = (effective_cache, service.cache_stats()) {
         let sidecar = sidecar_for(dir, &stats, wall_secs);
         let sidecar_path = path.with_extension("cache.json");
-        let json = serde_json::to_string_pretty(&sidecar).map_err(|e| e.to_string())?;
+        let json =
+            serde_json::to_string_pretty(&sidecar).expect("value-tree rendering is infallible");
         std::fs::write(&sidecar_path, json)
-            .map_err(|e| format!("writing {}: {e}", sidecar_path.display()))?;
+            .map_err(|e| CliError::Usage(format!("writing {}: {e}", sidecar_path.display())))?;
         println!("[cache] {}", sidecar_path.display());
-        if opts.cache_stats {
-            println!(
-                "[cache] {} hit{} / {} jobs ({:.1}%), {} miss{}, {} entr{} ({} bytes) on disk, \
-                 ~{:.2}s of simulation served from cache, sweep wall-clock {:.2}s",
-                stats.hits,
-                if stats.hits == 1 { "" } else { "s" },
-                stats.hits + stats.misses,
-                sidecar.hit_rate * 100.0,
-                stats.misses,
-                if stats.misses == 1 { "" } else { "es" },
-                stats.entries,
-                if stats.entries == 1 { "y" } else { "ies" },
-                stats.bytes_on_disk,
-                stats.saved_secs,
-                wall_secs,
-            );
-            if stats.stale_dropped > 0 {
-                println!(
-                    "[cache] {} stale entr{} (engine salt changed) garbage-collected",
-                    stats.stale_dropped,
-                    if stats.stale_dropped == 1 { "y" } else { "ies" },
-                );
-            }
+        if inv.cache_stats {
+            print_cache_stats(&stats, sidecar.hit_rate, wall_secs);
         }
     }
     Ok(())
+}
+
+fn print_cache_stats(stats: &CacheStats, hit_rate: f64, wall_secs: f64) {
+    println!(
+        "[cache] {} hit{} / {} jobs ({:.1}%), {} miss{}, {} entr{} ({} bytes) on disk, \
+         ~{:.2}s of simulation served from cache, sweep wall-clock {:.2}s",
+        stats.hits,
+        if stats.hits == 1 { "" } else { "s" },
+        stats.hits + stats.misses,
+        hit_rate * 100.0,
+        stats.misses,
+        if stats.misses == 1 { "" } else { "es" },
+        stats.entries,
+        if stats.entries == 1 { "y" } else { "ies" },
+        stats.bytes_on_disk,
+        stats.saved_secs,
+        wall_secs,
+    );
+    if stats.stale_dropped > 0 {
+        println!(
+            "[cache] {} stale entr{} (engine salt changed) garbage-collected",
+            stats.stale_dropped,
+            if stats.stale_dropped == 1 { "y" } else { "ies" },
+        );
+    }
 }
 
 fn sidecar_for(dir: &std::path::Path, stats: &CacheStats, wall_secs: f64) -> CacheSidecar {
@@ -377,10 +394,116 @@ fn sidecar_for(dir: &std::path::Path, stats: &CacheStats, wall_secs: f64) -> Cac
     }
 }
 
+/// `serve` — the what-if service on TCP, until a `shutdown` verb arrives.
+fn cmd_serve(registry: Registry, inv: SweepInvocation) -> Result<(), CliError> {
+    let scenario_count = registry.len();
+    let service = local_service(registry, &inv)?;
+    let server = Server::bind(service, inv.addr.as_str())?;
+    println!(
+        "[serve] what-if service listening on {} ({} scenarios, {} worker threads)",
+        server.local_addr()?,
+        scenario_count,
+        inv.threads,
+    );
+    server.run()?;
+    println!("[serve] shut down");
+    Ok(())
+}
+
+/// `submit` — enqueue on a remote server; with `--wait`, block for the
+/// artifact and write it exactly as `run` would have.
+fn cmd_submit(inv: SweepInvocation) -> Result<(), CliError> {
+    let mut client = Client::connect(inv.addr.as_str())?;
+    let receipt = client.submit(&inv.request)?;
+    for warning in &receipt.warnings {
+        println!("[scenarios] {warning}");
+    }
+    println!(
+        "[submit] request {} on {} — {} ({} job{}, {} from cache{})",
+        receipt.id,
+        inv.addr,
+        receipt.status,
+        receipt.total_jobs,
+        if receipt.total_jobs == 1 { "" } else { "s" },
+        receipt.cache_hits,
+        if receipt.deduped {
+            ", coalesced onto an identical in-flight request"
+        } else {
+            ""
+        },
+    );
+    if !inv.wait {
+        return Ok(());
+    }
+    let response = client.wait(receipt.id)?;
+    match response.status {
+        SweepStatus::Done => {
+            let artifact = response
+                .artifact
+                .expect("done responses carry the artifact");
+            let path = inv.json.clone().unwrap_or_else(default_artifact_path);
+            write_artifact(&path, &artifact)?;
+            println!("[json] {}", path.display());
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("request {}: {other}", receipt.id))),
+    }
+}
+
+/// `status [<id>]` — one request's lifecycle, or the server's whole list.
+fn cmd_status(addr: &str, id: Option<u64>) -> Result<(), CliError> {
+    let mut client = Client::connect(addr)?;
+    match id {
+        Some(id) => print_response(&client.status(id)?),
+        None => {
+            let listed = client.list()?;
+            if listed.is_empty() {
+                println!("no requests on {addr}");
+            }
+            for response in &listed {
+                print_response(response);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_cancel(addr: &str, id: u64) -> Result<(), CliError> {
+    let mut client = Client::connect(addr)?;
+    let response = client.cancel(id)?;
+    print_response(&response);
+    Ok(())
+}
+
+/// Parse `status`/`cancel` args: an optional `--addr` plus an optional id.
+fn parse_addr_id(args: &[String]) -> Result<(String, Option<u64>), String> {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut id = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--addr expects a value".to_string())?;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            raw => {
+                id = Some(
+                    raw.parse::<u64>()
+                        .map_err(|_| format!("expected a numeric request id, got `{raw}`"))?,
+                );
+            }
+        }
+    }
+    Ok((addr, id))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let registry = Registry::standard();
-    let result = match args.first().map(String::as_str) {
+    let result: Result<(), CliError> = match args.first().map(String::as_str) {
         Some("list") => {
             println!("registered scenarios:");
             for s in registry.iter() {
@@ -400,20 +523,68 @@ fn main() -> ExitCode {
                 if registry.report(name) {
                     Ok(())
                 } else {
-                    Err(format!("unknown scenario `{name}` (try `scenarios list`)"))
+                    Err(CliError::Usage(format!(
+                        "unknown scenario `{name}` (try `scenarios list`)"
+                    )))
                 }
             } else {
-                Err("report expects a scenario name or --all".to_string())
+                Err(CliError::Usage(
+                    "report expects a scenario name or --all".to_string(),
+                ))
             }
         }
-        Some("run") => parse_run(&args[1..]).and_then(|opts| cmd_run(&registry, opts)),
-        _ => Err(USAGE.to_string()),
+        Some("run") => parse_sweep(&args[1..])
+            .map_err(CliError::Usage)
+            .and_then(|inv| cmd_run(registry, inv)),
+        Some("serve") => {
+            // `serve` takes no scenario targets: patch an empty selection
+            // through the shared parser (the server serves everything).
+            parse_sweep_serverside(&args[1..])
+                .map_err(CliError::Usage)
+                .and_then(|inv| cmd_serve(registry, inv))
+        }
+        Some("submit") => parse_sweep(&args[1..])
+            .map_err(CliError::Usage)
+            .and_then(cmd_submit),
+        Some("status") => parse_addr_id(&args[1..])
+            .map_err(CliError::Usage)
+            .and_then(|(addr, id)| cmd_status(&addr, id)),
+        Some("cancel") => {
+            parse_addr_id(&args[1..])
+                .map_err(CliError::Usage)
+                .and_then(|(addr, id)| match id {
+                    Some(id) => cmd_cancel(&addr, id),
+                    None => Err(CliError::Usage("cancel expects a request id".to_string())),
+                })
+        }
+        Some("shutdown") => {
+            parse_addr_id(&args[1..])
+                .map_err(CliError::Usage)
+                .and_then(|(addr, _)| {
+                    Client::connect(addr.as_str())?.shutdown()?;
+                    println!("[shutdown] asked {addr} to stop");
+                    Ok(())
+                })
+        }
+        _ => Err(CliError::Usage(USAGE.to_string())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
+        Err(e) => {
+            eprintln!("{e}");
             ExitCode::from(2)
         }
     }
+}
+
+/// `serve` reuses the sweep flag parser but has no scenario targets to
+/// name — inject a placeholder selection to satisfy its invariant.
+fn parse_sweep_serverside(args: &[String]) -> Result<SweepInvocation, String> {
+    let mut padded = args.to_vec();
+    padded.push("--all".to_string());
+    let inv = parse_sweep(&padded)?;
+    if let Some(name) = inv.request.scenarios.first() {
+        return Err(format!("serve takes no scenario arguments, got `{name}`"));
+    }
+    Ok(inv)
 }

@@ -1,0 +1,142 @@
+//! Golden-file pin on the `scenarios` CLI: the artifact a `run` writes
+//! today must be byte-for-byte what the pre-service CLI wrote (the
+//! committed goldens), and a `serve` + `submit --wait` round trip must
+//! write those same bytes again. This is the API-redesign safety net —
+//! the sweep service may reroute everything, but the artifact bytes are
+//! the contract.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+fn scenarios_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scenarios"))
+}
+
+fn golden(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../scenarios/tests/golden/{name}"))
+}
+
+fn out_path(tag: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("cli-golden-{tag}-{}.json", std::process::id()))
+}
+
+fn run_cli(args: &[&str]) {
+    let output = scenarios_bin()
+        .args(args)
+        .output()
+        .expect("scenarios binary runs");
+    assert!(
+        output.status.success(),
+        "scenarios {args:?} failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn run_artifact_matches_the_committed_goldens() {
+    let tab03 = out_path("tab03");
+    run_cli(&[
+        "run",
+        "tab03_idle_node",
+        "--seeds",
+        "2",
+        "--threads",
+        "2",
+        "--order",
+        "input",
+        "--json",
+        tab03.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        std::fs::read(&tab03).expect("artifact written"),
+        std::fs::read(golden("tab03_seeds2.json")).expect("golden present"),
+        "tab03 artifact bytes drifted from the golden"
+    );
+
+    let fig07 = out_path("fig07");
+    run_cli(&[
+        "run",
+        "fig07_latency",
+        "--seeds",
+        "2",
+        "--threads",
+        "2",
+        "--grid",
+        "reps=50,100",
+        "--json",
+        fig07.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        std::fs::read(&fig07).expect("artifact written"),
+        std::fs::read(golden("fig07_reps50_100_seeds2.json")).expect("golden present"),
+        "fig07 artifact bytes drifted from the golden"
+    );
+}
+
+/// Boot `scenarios serve` on a fixed loopback port and wait for it to
+/// answer a ping. Killed (via shutdown verb) by the caller.
+fn spawn_server(addr: &str) -> Child {
+    let mut child = scenarios_bin()
+        .args(["serve", "--addr", addr, "--threads", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+    for _ in 0..100 {
+        if let Ok(mut client) = scenarios::wire::Client::connect(addr) {
+            if client.ping().is_ok() {
+                return child;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    panic!("server at {addr} never answered a ping");
+}
+
+#[test]
+fn submit_wait_artifact_is_byte_identical_to_run() {
+    let direct = out_path("direct");
+    run_cli(&[
+        "run",
+        "tab03_idle_node",
+        "--seeds",
+        "2",
+        "--threads",
+        "2",
+        "--json",
+        direct.to_str().unwrap(),
+    ]);
+
+    // A fixed port keeps the client/server pair simple; pick one unlikely
+    // to collide and retry-connect until the listener is up.
+    let addr = "127.0.0.1:17411";
+    let mut server = spawn_server(addr);
+
+    let served = out_path("served");
+    run_cli(&[
+        "submit",
+        "tab03_idle_node",
+        "--seeds",
+        "2",
+        "--addr",
+        addr,
+        "--wait",
+        "--json",
+        served.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        std::fs::read(&served).expect("served artifact written"),
+        std::fs::read(&direct).expect("direct artifact written"),
+        "submit --wait artifact bytes diverged from run"
+    );
+
+    scenarios::wire::Client::connect(addr)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown verb");
+    let status = server.wait().expect("server exits");
+    assert!(status.success(), "serve exited nonzero: {status}");
+}

@@ -35,6 +35,7 @@
 //! everything it could see; a lost entry is only a future cache miss,
 //! never a wrong result.
 
+use crate::error::Error;
 use crate::metrics::Metrics;
 use crate::params::{ParamValue, Params};
 use std::collections::HashMap;
@@ -215,15 +216,15 @@ pub struct ResultCache {
 impl ResultCache {
     /// Open (creating if needed) the cache at `dir`, keyed by the current
     /// [`engine_salt`].
-    pub fn open(dir: &Path) -> Result<ResultCache, String> {
+    pub fn open(dir: &Path) -> Result<ResultCache, Error> {
         ResultCache::open_with_salt(dir, &engine_salt())
     }
 
     /// Open with an explicit salt — the test hook for simulating engine
     /// version bumps without rebuilding crates.
-    pub fn open_with_salt(dir: &Path, salt: &str) -> Result<ResultCache, String> {
+    pub fn open_with_salt(dir: &Path, salt: &str) -> Result<ResultCache, Error> {
         std::fs::create_dir_all(dir.join("wal"))
-            .map_err(|e| format!("creating cache dir {}: {e}", dir.display()))?;
+            .map_err(|e| Error::cache(dir, format!("creating cache dir: {e}")))?;
         let mut cache = ResultCache {
             dir: dir.to_path_buf(),
             salt: salt.to_string(),
@@ -265,11 +266,11 @@ impl ResultCache {
         self.dir.join("index.v1.log")
     }
 
-    fn wal_segments(&self) -> Result<Vec<PathBuf>, String> {
+    fn wal_segments(&self) -> Result<Vec<PathBuf>, Error> {
         let wal = self.dir.join("wal");
         let mut segs = Vec::new();
         let dir = std::fs::read_dir(&wal)
-            .map_err(|e| format!("reading cache WAL dir {}: {e}", wal.display()))?;
+            .map_err(|e| Error::cache(&wal, format!("reading cache WAL dir: {e}")))?;
         for entry in dir.flatten() {
             let path = entry.path();
             if path.extension().is_some_and(|e| e == "log") {
@@ -333,7 +334,7 @@ impl ResultCache {
     /// Create one append-only WAL segment for a worker thread. Segment
     /// names are unique per (process, writer), so concurrent sweeps over
     /// one cache directory never interleave writes within a file.
-    pub fn writer(&self) -> Result<CacheWriter, String> {
+    pub fn writer(&self) -> Result<CacheWriter, Error> {
         static NEXT_SEGMENT: AtomicU64 = AtomicU64::new(0);
         let id = NEXT_SEGMENT.fetch_add(1, Ordering::Relaxed);
         let path = self
@@ -344,7 +345,7 @@ impl ResultCache {
             .create_new(true)
             .append(true)
             .open(&path)
-            .map_err(|e| format!("creating cache segment {}: {e}", path.display()))?;
+            .map_err(|e| Error::cache(&path, format!("creating cache segment: {e}")))?;
         Ok(CacheWriter {
             path,
             file,
@@ -358,12 +359,12 @@ impl ResultCache {
     /// delete the segments this cache owns. Stale-salt entries never make
     /// it into the rewritten index — this is where a salt bump's garbage
     /// collection happens.
-    pub fn commit(&mut self, writers: Vec<CacheWriter>) -> Result<(), String> {
+    pub fn commit(&mut self, writers: Vec<CacheWriter>) -> Result<(), Error> {
         let mut own: Vec<PathBuf> = Vec::with_capacity(writers.len());
         for w in writers {
             w.file
                 .sync_all()
-                .map_err(|e| format!("fsync cache segment {}: {e}", w.path.display()))?;
+                .map_err(|e| Error::cache(&w.path, format!("fsync cache segment: {e}")))?;
             own.push(w.path);
         }
         // Re-read the on-disk index first: another process may have
@@ -399,14 +400,14 @@ impl ResultCache {
         ));
         {
             let mut f = File::create(&tmp)
-                .map_err(|e| format!("creating cache index {}: {e}", tmp.display()))?;
+                .map_err(|e| Error::cache(&tmp, format!("creating cache index: {e}")))?;
             f.write_all(text.as_bytes())
-                .map_err(|e| format!("writing cache index {}: {e}", tmp.display()))?;
+                .map_err(|e| Error::cache(&tmp, format!("writing cache index: {e}")))?;
             f.sync_all()
-                .map_err(|e| format!("fsync cache index {}: {e}", tmp.display()))?;
+                .map_err(|e| Error::cache(&tmp, format!("fsync cache index: {e}")))?;
         }
         std::fs::rename(&tmp, &index)
-            .map_err(|e| format!("publishing cache index {}: {e}", index.display()))?;
+            .map_err(|e| Error::cache(&index, format!("publishing cache index: {e}")))?;
         self.bytes_on_disk = text.len() as u64;
 
         for seg in own.iter().chain(&self.recovered) {
@@ -451,12 +452,12 @@ impl CacheWriter {
         scenario: &str,
         secs: f64,
         metrics: &Metrics,
-    ) -> Result<(), String> {
+    ) -> Result<(), Error> {
         let mut line = String::new();
         encode_line(&mut line, key, &self.salt, scenario, secs, metrics);
         (&self.file)
             .write_all(line.as_bytes())
-            .map_err(|e| format!("appending to cache segment {}: {e}", self.path.display()))
+            .map_err(|e| Error::cache(&self.path, format!("appending to cache segment: {e}")))
     }
 
     pub fn path(&self) -> &Path {

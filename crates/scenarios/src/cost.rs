@@ -12,6 +12,7 @@
 //! For shapes the table has never seen (cold start) a crude size heuristic
 //! over the numeric parameters breaks ties instead.
 
+use crate::error::Error;
 use crate::params::{ParamValue, Params};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -102,26 +103,36 @@ impl CostTable {
 
     /// Parse the flat JSON object [`CostTable::to_json`] writes. Unknown or
     /// malformed structure is an error; an empty object is a valid table.
-    pub fn parse_json(text: &str) -> Result<CostTable, String> {
+    pub fn parse_json(text: &str) -> Result<CostTable, Error> {
+        CostTable::parse_json_at(text, Path::new("<inline>"))
+    }
+
+    fn parse_json_at(text: &str, path: &Path) -> Result<CostTable, Error> {
+        let err = |message: String| Error::CostTable {
+            path: path.to_path_buf(),
+            message,
+        };
         let mut table = CostTable::new();
         let mut rest = text.trim();
         rest = rest
             .strip_prefix('{')
-            .ok_or("cost table: expected a JSON object")?;
+            .ok_or_else(|| err("expected a JSON object".to_string()))?;
         while let Some(open) = rest.find('"') {
             rest = &rest[open + 1..];
-            let close = rest.find('"').ok_or("cost table: unterminated key")?;
+            let close = rest
+                .find('"')
+                .ok_or_else(|| err("unterminated key".to_string()))?;
             let key = &rest[..close];
             rest = &rest[close + 1..];
             let colon = rest
                 .find(':')
-                .ok_or_else(|| format!("cost table: key `{key}` without value"))?;
+                .ok_or_else(|| err(format!("key `{key}` without value")))?;
             rest = rest[colon + 1..].trim_start();
             let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
             let secs: f64 = rest[..end]
                 .trim()
                 .parse()
-                .map_err(|e| format!("cost table: value of `{key}`: {e}"))?;
+                .map_err(|e| err(format!("value of `{key}`: {e}")))?;
             table.record(key, secs);
             rest = &rest[end..];
         }
@@ -129,19 +140,26 @@ impl CostTable {
     }
 
     /// Load a persisted table from `path`.
-    pub fn load(path: &Path) -> Result<CostTable, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("reading cost table {}: {e}", path.display()))?;
-        CostTable::parse_json(&text)
+    pub fn load(path: &Path) -> Result<CostTable, Error> {
+        let text = std::fs::read_to_string(path).map_err(|e| Error::CostTable {
+            path: path.to_path_buf(),
+            message: format!("reading: {e}"),
+        })?;
+        CostTable::parse_json_at(&text, path)
     }
 
     /// Write the table to `path`, creating parent directories.
-    pub fn save(&self, path: &Path) -> Result<(), String> {
+    pub fn save(&self, path: &Path) -> Result<(), Error> {
         if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            std::fs::create_dir_all(dir).map_err(|e| Error::CostTable {
+                path: path.to_path_buf(),
+                message: format!("creating {}: {e}", dir.display()),
+            })?;
         }
-        std::fs::write(path, self.to_json())
-            .map_err(|e| format!("writing cost table {}: {e}", path.display()))
+        std::fs::write(path, self.to_json()).map_err(|e| Error::CostTable {
+            path: path.to_path_buf(),
+            message: format!("writing: {e}"),
+        })
     }
 }
 

@@ -22,22 +22,32 @@
 
 pub mod cache;
 pub mod cost;
+pub mod error;
 pub mod metrics;
 pub mod paper;
 pub mod params;
 pub mod registry;
 pub mod report;
+pub mod request;
 pub mod runner;
 pub mod scenarios;
+pub mod server;
+pub mod service;
+pub mod wire;
 
 pub use cache::{engine_salt, job_key, CacheKey, CacheStats, CacheWriter, ResultCache};
 pub use cost::CostTable;
+pub use error::Error;
 pub use metrics::{summarize, MetricSummary, Metrics};
 pub use params::{ParamValue, Params, SweepGrid};
 pub use registry::Registry;
+pub use request::{SweepRequest, SweepResponse, SweepStatus, ValidatedSweep, REQUEST_VERSION};
 pub use runner::{
     JobFailure, JobOrder, PointResult, SweepError, SweepResult, SweepRunner, SweepSuite,
 };
+pub use server::Server;
+pub use service::{Service, ServiceConfig, Submission};
+pub use wire::{Client, SubmitReceipt};
 
 use des::Simulation;
 

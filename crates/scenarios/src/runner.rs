@@ -70,6 +70,16 @@ pub struct SweepSuite {
     pub results: Vec<SweepResult>,
 }
 
+impl SweepSuite {
+    /// The canonical artifact rendering — exactly the bytes `scenarios run
+    /// --json` writes. The what-if service ships this text verbatim over
+    /// the wire (never a re-serialization on the client side), which is
+    /// what makes server- and CLI-written artifacts byte-identical.
+    pub fn artifact_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("value-tree rendering is infallible")
+    }
+}
+
 /// How the runner orders jobs before injecting them into the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum JobOrder {
@@ -133,14 +143,14 @@ impl std::error::Error for SweepError {}
 /// thread join orders every write before collection. That invariant is what
 /// lets results land without a mutex per slot — and what keeps the output
 /// independent of who executed what.
-struct SlotBuffer<T> {
+pub(crate) struct SlotBuffer<T> {
     slots: Vec<UnsafeCell<Option<T>>>,
 }
 
 unsafe impl<T: Send> Sync for SlotBuffer<T> {}
 
 impl<T> SlotBuffer<T> {
-    fn new(n: usize) -> SlotBuffer<T> {
+    pub(crate) fn new(n: usize) -> SlotBuffer<T> {
         SlotBuffer {
             slots: (0..n).map(|_| UnsafeCell::new(None)).collect(),
         }
@@ -148,23 +158,114 @@ impl<T> SlotBuffer<T> {
 
     /// # Safety
     /// At most one thread may ever call this per index, and all calls must
-    /// happen-before [`SlotBuffer::into_vec`] (the pool join provides this).
-    unsafe fn put(&self, index: usize, value: T) {
+    /// happen-before [`SlotBuffer::into_vec`] / [`SlotBuffer::take_vec`]
+    /// (a pool join, or an acquire of a release made after the write).
+    pub(crate) unsafe fn put(&self, index: usize, value: T) {
         *self.slots[index].get() = Some(value);
     }
 
-    fn into_vec(self) -> Vec<Option<T>> {
+    pub(crate) fn into_vec(self) -> Vec<Option<T>> {
         self.slots.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+
+    /// Drain every slot through a shared reference — the finalization path
+    /// for buffers living inside an `Arc` (the what-if service's persistent
+    /// pool can't consume the buffer by value the way a scoped run can).
+    ///
+    /// # Safety
+    /// Exactly one thread may call this, exactly once, and every
+    /// [`SlotBuffer::put`] must happen-before it (the service guarantees
+    /// this via the acquire side of its last-job `remaining` decrement: a
+    /// worker's `AcqRel` `fetch_sub` to 1 synchronizes with every earlier
+    /// release in the per-sweep release sequence, so all slot writes are
+    /// visible to the finalizer).
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn take_vec(&self) -> Vec<Option<T>> {
+        self.slots.iter().map(|c| (*c.get()).take()).collect()
     }
 }
 
 /// One `(task, point, seed)` unit of work; `slot` is its global result index.
 #[derive(Debug, Clone, Copy)]
-struct Job {
-    slot: usize,
-    task: usize,
-    point: usize,
-    seed_idx: usize,
+pub(crate) struct Job {
+    pub(crate) slot: usize,
+    pub(crate) task: usize,
+    pub(crate) point: usize,
+    pub(crate) seed_idx: usize,
+}
+
+/// Expand per-task point lists × seeds into jobs with consecutive global
+/// slots in task-major, point-major, seed-minor order — the slot layout
+/// both the CLI runner and the service's pool share (it is what makes
+/// their artifacts interchangeable).
+pub(crate) fn expand_jobs(points: &[Vec<Params>], n_seeds: usize) -> Vec<Job> {
+    let mut jobs: Vec<Job> = Vec::new();
+    for (task, task_points) in points.iter().enumerate() {
+        for point in 0..task_points.len() {
+            for seed_idx in 0..n_seeds {
+                jobs.push(Job {
+                    slot: jobs.len(),
+                    task,
+                    point,
+                    seed_idx,
+                });
+            }
+        }
+    }
+    jobs
+}
+
+/// Longest-expected-first (LPT) order, ties broken by slot so the order is
+/// fully deterministic. `estimates[task][point]` is the expected seconds.
+pub(crate) fn sort_jobs_lpt(jobs: &mut [Job], estimates: &[Vec<f64>]) {
+    jobs.sort_by(|a, b| {
+        estimates[b.task][b.point]
+            .total_cmp(&estimates[a.task][a.point])
+            .then(a.slot.cmp(&b.slot))
+    });
+}
+
+/// Fold slot-ordered metrics back into per-scenario results: task, point,
+/// seed — the injection/execution order never shows up here. Shared by the
+/// scoped runner and the service finalizer, so both aggregate identically.
+pub(crate) fn aggregate_results(
+    names: &[&str],
+    points: Vec<Vec<Params>>,
+    seeds: &[u64],
+    slot_values: Vec<Option<Metrics>>,
+) -> Vec<SweepResult> {
+    let mut slot_values = slot_values.into_iter();
+    let mut results = Vec::with_capacity(names.len());
+    for (name, task_points) in names.iter().zip(points) {
+        let point_results = task_points
+            .into_iter()
+            .map(|params| {
+                let per_seed: Vec<(u64, Metrics)> = seeds
+                    .iter()
+                    .map(|&seed| {
+                        let m = slot_values
+                            .next()
+                            .flatten()
+                            .expect("every non-failed job filled its slot");
+                        (seed, m)
+                    })
+                    .collect();
+                let summary =
+                    summarize(&per_seed.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>());
+                PointResult {
+                    params,
+                    per_seed,
+                    summary,
+                }
+            })
+            .collect();
+        results.push(SweepResult {
+            scenario: name.to_string(),
+            seeds: seeds.to_vec(),
+            points: point_results,
+        });
+    }
+    results
 }
 
 /// Fans `grid × seeds` jobs across work-stealing worker threads.
@@ -299,19 +400,7 @@ impl SweepRunner {
             .iter()
             .map(|(s, g)| g.points(&s.default_params()))
             .collect();
-        let mut jobs: Vec<Job> = Vec::new();
-        for (task, task_points) in points.iter().enumerate() {
-            for point in 0..task_points.len() {
-                for seed_idx in 0..n_seeds {
-                    jobs.push(Job {
-                        slot: jobs.len(),
-                        task,
-                        point,
-                        seed_idx,
-                    });
-                }
-            }
-        }
+        let mut jobs = expand_jobs(&points, n_seeds);
         let n_jobs = jobs.len();
         let slots: SlotBuffer<Metrics> = SlotBuffer::new(n_jobs);
 
@@ -360,11 +449,7 @@ impl SweepRunner {
                         .collect()
                 })
                 .collect();
-            jobs.sort_by(|a, b| {
-                estimates[b.task][b.point]
-                    .total_cmp(&estimates[a.task][a.point])
-                    .then(a.slot.cmp(&b.slot))
-            });
+            sort_jobs_lpt(&mut jobs, &estimates);
         }
 
         let injector = Injector::new();
@@ -386,7 +471,7 @@ impl SweepRunner {
         let writers: Option<Vec<CacheWriter>> = cache.as_deref().map(|c| {
             (0..threads)
                 .map(|_| c.writer())
-                .collect::<Result<Vec<_>, String>>()
+                .collect::<Result<Vec<_>, crate::error::Error>>()
                 .unwrap_or_else(|e| panic!("sweep cache: {e}"))
         });
 
@@ -486,45 +571,19 @@ impl SweepRunner {
 
         // Collect slot-major: task, point, seed — the injection order never
         // shows up here.
-        let mut slot_values = slots.into_vec().into_iter();
-        let mut results = Vec::with_capacity(tasks.len());
-        for ((scenario, _), task_points) in tasks.iter().zip(points) {
-            let point_results = task_points
-                .into_iter()
-                .map(|params| {
-                    let per_seed: Vec<(u64, Metrics)> = self
-                        .seeds
-                        .iter()
-                        .map(|&seed| {
-                            let m = slot_values
-                                .next()
-                                .flatten()
-                                .expect("every non-failed job filled its slot");
-                            (seed, m)
-                        })
-                        .collect();
-                    let summary =
-                        summarize(&per_seed.iter().map(|(_, m)| m.clone()).collect::<Vec<_>>());
-                    PointResult {
-                        params,
-                        per_seed,
-                        summary,
-                    }
-                })
-                .collect();
-            results.push(SweepResult {
-                scenario: scenario.name().to_string(),
-                seeds: self.seeds.clone(),
-                points: point_results,
-            });
-        }
-        Ok(results)
+        let names: Vec<&str> = tasks.iter().map(|(s, _)| s.name()).collect();
+        Ok(aggregate_results(
+            &names,
+            points,
+            &self.seeds,
+            slots.into_vec(),
+        ))
     }
 }
 
 /// Best-effort text of a panic payload (panics carry `&str` or `String`
 /// unless thrown with `panic_any`).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -601,6 +660,43 @@ mod tests {
             }
         });
         let got = buf.into_vec();
+        for (i, v) in got.into_iter().enumerate() {
+            assert_eq!(v, Some(i * 10));
+        }
+    }
+
+    #[test]
+    fn slot_buffer_disjoint_writes_from_threads_then_take_vec() {
+        // The service-finalizer variant of the contract above: writers
+        // publish with a release fetch_sub, the last decrementer acquires
+        // and drains through &self — exactly the what-if service's
+        // finalization protocol, reduced for Miri.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let buf = SlotBuffer::<usize>::new(16);
+        let remaining = AtomicUsize::new(16);
+        let drained = std::sync::Mutex::new(None);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let buf = &buf;
+                let remaining = &remaining;
+                let drained = &drained;
+                scope.spawn(move || {
+                    for i in (t..16).step_by(4) {
+                        // SAFETY: index i is written only by thread t
+                        // (i ≡ t mod 4); the AcqRel fetch_sub below
+                        // releases the write, and the thread observing the
+                        // count hit zero acquires every prior decrement.
+                        unsafe { buf.put(i, i * 10) };
+                        if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            // SAFETY: last decrement — every put
+                            // happens-before this take_vec.
+                            *drained.lock().unwrap() = Some(unsafe { buf.take_vec() });
+                        }
+                    }
+                });
+            }
+        });
+        let got = drained.lock().unwrap().take().expect("one thread drained");
         for (i, v) in got.into_iter().enumerate() {
             assert_eq!(v, Some(i * 10));
         }
